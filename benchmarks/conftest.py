@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures: it runs the
+experiment once under ``benchmark.pedantic`` (the simulations are seconds
+long — repeating them hundreds of times would be pointless), asserts the
+figure's qualitative shape, and writes the series it would plot to
+``benchmarks/results/<name>.txt`` so the numbers are inspectable.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def results_writer():
+    """Returns write(name, lines): dump a result series to results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def write(name, lines):
+        path = os.path.join(RESULTS_DIR, name)
+        with open(path, "w") as fh:
+            for line in lines:
+                fh.write(str(line).rstrip() + "\n")
+        return path
+
+    return write
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

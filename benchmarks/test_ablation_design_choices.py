@@ -1,0 +1,81 @@
+"""Ablations of WF2Q+'s two design elements (DESIGN.md's 'key decisions').
+
+Runs the Figure 2 worst-case workload under the full algorithm and the two
+ablated variants and records the measured B-WFI:
+
+* removing the **eligibility test** (SEFF -> SFF) reintroduces the Figure 2
+  run-ahead burst: B-WFI jumps from ~1 packet to ~N/2 packets;
+* removing the **min-S virtual-time floor** leaves worst-case fairness in
+  this workload but distorts the tag a newly backlogged session receives
+  (and requires a work-conservation fallback in the scheduler), which shows
+  up as a larger measured B-WFI on the idle/return workload.
+"""
+
+from repro.analysis.wfi import empirical_bwfi
+from repro.core.ablation import NoEligibilityWF2QPlus, NoFloorWF2QPlus
+from repro.core.wf2qplus import WF2QPlusScheduler
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.monitor import ServiceTrace
+from repro.traffic.source import TraceSource
+
+from benchmarks.conftest import run_once
+
+VARIANTS = [WF2QPlusScheduler, NoEligibilityWF2QPlus, NoFloorWF2QPlus]
+N = 21
+
+
+def fig2_bwfi(cls):
+    sched = cls(1.0)
+    sched.add_flow(1, 0.5)
+    for j in range(2, N + 1):
+        sched.add_flow(j, 0.5 / (N - 1))
+    sim = Simulator()
+    trace = ServiceTrace()
+    link = Link(sim, sched, trace=trace)
+    TraceSource(1, [0.0] * N, 1.0).attach(sim, link).start()
+    for j in range(2, N + 1):
+        TraceSource(j, [0.0], 1.0).attach(sim, link).start()
+    sim.run(until=20.0 * N)
+    return empirical_bwfi(trace, 1, 0.5)
+
+
+def idle_return_bwfi(cls):
+    """A session idles while another runs, then returns with a burst."""
+    sched = cls(1.0)
+    sched.add_flow("r", 0.5)
+    sched.add_flow("bg", 0.5)
+    sim = Simulator()
+    trace = ServiceTrace()
+    link = Link(sim, sched, trace=trace)
+    TraceSource("bg", [0.0] * 60, 1.0).attach(sim, link).start()
+    TraceSource("r", [0.0] * 4 + [30.0] * 8, 1.0).attach(sim, link).start()
+    sim.run(until=200.0)
+    return empirical_bwfi(trace, "bg", 0.5)
+
+
+def run_all():
+    return {
+        cls.name: (fig2_bwfi(cls), idle_return_bwfi(cls))
+        for cls in VARIANTS
+    }
+
+
+def test_ablation_design_choices(benchmark, results_writer):
+    results = run_once(benchmark, run_all)
+    lines = ["# B-WFI (packets) per variant",
+             "# variant            fig2-burst  idle-return"]
+    for name, (burst, ret) in results.items():
+        lines.append(f"{name:20s} {burst:10.3f} {ret:12.3f}")
+    results_writer("ablation_design_choices.txt", lines)
+
+    full_burst, full_ret = results["WF2Q+"]
+    noseff_burst, _ = results["WF2Q+[no-SEFF]"]
+    _, nofloor_ret = results["WF2Q+[no-floor]"]
+    # The full algorithm is worst-case fair (~1 packet).
+    assert full_burst <= 1.0 + 1e-6
+    # Removing eligibility reintroduces the ~N/2 run-ahead.
+    assert noseff_burst >= 4 * full_burst
+    # Removing the floor harms the session that stayed (bg must wait while
+    # the returner catches up from an understated start tag).
+    assert nofloor_ret >= full_ret - 1e-9

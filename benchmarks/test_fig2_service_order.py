@@ -1,0 +1,53 @@
+"""Figure 2 — the GPS / WFQ / WF2Q(+) service-order timelines.
+
+Regenerates the paper's canonical example exactly (unit packets, link rate
+1, shares 0.5 + 10 x 0.05) and records every timeline.  Checks:
+
+* WFQ transmits session 1's first ten packets back to back and punishes
+  p_1^11 to the very end (inaccuracy ~ N/2 packets);
+* WF2Q and WF2Q+ interleave session 1 with the other sessions and never
+  deviate from the fluid GPS service by a full packet;
+* the GPS reference finishes p_1^k at t = 2k and every p_j^1 at t = 20.
+"""
+
+from fractions import Fraction as Fr
+
+from repro.core.wf2q import WF2QScheduler
+from repro.core.wf2qplus import WF2QPlusScheduler
+from repro.core.wfq import WFQScheduler
+from repro.experiments.fig2 import (
+    run_fig2,
+    service_discrepancy_vs_gps,
+)
+
+from benchmarks.conftest import run_once
+
+
+def test_fig2_timelines(benchmark, results_writer):
+    out = run_once(benchmark, run_fig2,
+                   [WFQScheduler, WF2QScheduler, WF2QPlusScheduler])
+
+    lines = ["# Figure 2: service timelines (flow id per unit time slot)"]
+    for name in ("WFQ", "WF2Q", "WF2Q+"):
+        order = [fid for fid, _s, _f in out[name]]
+        lines.append(f"{name:7s} {order}")
+    lines.append("# GPS packet finish times")
+    lines.append(f"GPS     {[(fid, str(t)) for fid, t in out['GPS']]}")
+
+    wfq_err = service_discrepancy_vs_gps(out["WFQ"])
+    wf2q_err = service_discrepancy_vs_gps(out["WF2Q"])
+    wf2qp_err = service_discrepancy_vs_gps(out["WF2Q+"])
+    lines.append("# max |W_packet - W_GPS| for session 1 (packets)")
+    lines.append(f"WFQ={wfq_err} WF2Q={wf2q_err} WF2Q+={wf2qp_err}")
+    results_writer("fig2_service_order.txt", lines)
+
+    # Shape assertions (the paper's claims).
+    wfq_order = [fid for fid, _s, _f in out["WFQ"]]
+    assert wfq_order[:10] == [1] * 10
+    assert wfq_order[20] == 1
+    w2q_order = [fid for fid, _s, _f in out["WF2Q"]]
+    assert w2q_order[0::2] == [1] * 11
+    assert [fid for fid, _s, _f in out["WF2Q+"]] == w2q_order
+    assert wfq_err >= Fr(4)            # ~N/2 packets of run-ahead
+    assert wf2q_err <= Fr(1)           # within one packet of GPS
+    assert wf2qp_err <= Fr(1)

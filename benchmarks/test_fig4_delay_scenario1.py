@@ -1,0 +1,52 @@
+"""Figure 4 — RT-1's absolute delay under H-WFQ vs H-WF2Q+ (scenario 1).
+
+All sources send at their guaranteed average rates; only BE-1 is
+persistently backlogged.  The paper's claims, asserted here:
+
+* H-WFQ shows large periodic delay spikes (driven by the ~3 s beat between
+  RT-1's 100 ms duty cycle and the CS trains' 193 ms period);
+* H-WF2Q+'s delay stays below its Corollary 2 bound;
+* H-WFQ's worst-case delay is substantially larger than H-WF2Q+'s.
+"""
+
+from repro.analysis.bounds import hpfq_delay_bound
+from repro.experiments import delay as exp
+
+from benchmarks.conftest import run_once
+
+DURATION = 10.0
+
+
+def _run_both():
+    return {
+        policy: exp.run_delay_experiment(policy, scenario=1,
+                                         duration=DURATION)
+        for policy in ("wf2qplus", "wfq")
+    }
+
+
+def test_fig4_delay_scenario1(benchmark, results_writer):
+    traces = run_once(benchmark, _run_both)
+
+    lines = ["# Figure 4: RT-1 delay vs time, scenario 1",
+             "# columns: arrival_time_s  delay_ms"]
+    stats = {}
+    for policy, trace in traces.items():
+        series = trace.delays("RT-1")
+        lines.append(f"## H-{policy}")
+        lines.extend(f"{t:.4f} {1000 * d:.3f}" for t, d in series)
+        delays = [d for _t, d in series]
+        stats[policy] = (max(delays), sum(delays) / len(delays))
+    lines.append("# summary (max_ms, mean_ms)")
+    for policy, (mx, mean) in stats.items():
+        lines.append(f"H-{policy}: max={1000 * mx:.2f} mean={1000 * mean:.2f}")
+    results_writer("fig4_delay_scenario1.txt", lines)
+
+    spec = exp.build_fig3_spec()
+    bound = float(hpfq_delay_bound(
+        spec, "RT-1", exp.RT1_SIGMA, exp.FIG3_LINK_RATE,
+        lambda n: exp.FIG3_PACKET_LENGTH))
+    assert stats["wf2qplus"][0] <= bound + 1e-9, (
+        f"H-WF2Q+ max delay {stats['wf2qplus'][0]} exceeds bound {bound}")
+    assert stats["wfq"][0] > 1.3 * stats["wf2qplus"][0], (
+        "H-WFQ's worst-case delay should dwarf H-WF2Q+'s")

@@ -1,0 +1,47 @@
+"""Figure 6 — overloaded Poisson cross-traffic (scenario 2).
+
+CS-n sources are off; PS-n sources send Poisson at 1.5x their guaranteed
+rate, so they all become persistently backlogged.  Even with purely random
+arrivals the maximum delay under H-WFQ remains larger than under H-WF2Q+,
+and H-WF2Q+ keeps honouring its bound (guarantees are independent of other
+sessions' behaviour — the whole point of worst-case fairness).
+"""
+
+from repro.analysis.bounds import hpfq_delay_bound
+from repro.experiments import delay as exp
+
+from benchmarks.conftest import run_once
+
+DURATION = 10.0
+
+
+def _run_both():
+    return {
+        policy: exp.run_delay_experiment(policy, scenario=2,
+                                         duration=DURATION, seed=3)
+        for policy in ("wf2qplus", "wfq")
+    }
+
+
+def test_fig6_delay_scenario2(benchmark, results_writer):
+    traces = run_once(benchmark, _run_both)
+
+    lines = ["# Figure 6: RT-1 delay vs time, scenario 2 (PS-n at 1.5x)",
+             "# columns: arrival_time_s  delay_ms"]
+    stats = {}
+    for policy, trace in traces.items():
+        series = trace.delays("RT-1")
+        lines.append(f"## H-{policy}")
+        lines.extend(f"{t:.4f} {1000 * d:.3f}" for t, d in series)
+        delays = [d for _t, d in series]
+        stats[policy] = (max(delays), sum(delays) / len(delays))
+    for policy, (mx, mean) in stats.items():
+        lines.append(f"H-{policy}: max={1000 * mx:.2f} mean={1000 * mean:.2f}")
+    results_writer("fig6_delay_scenario2.txt", lines)
+
+    spec = exp.build_fig3_spec()
+    bound = float(hpfq_delay_bound(
+        spec, "RT-1", exp.RT1_SIGMA, exp.FIG3_LINK_RATE,
+        lambda n: exp.FIG3_PACKET_LENGTH))
+    assert stats["wf2qplus"][0] <= bound + 1e-9
+    assert stats["wfq"][0] >= stats["wf2qplus"][0]

@@ -1,0 +1,52 @@
+"""Figure 7 — overload plus constant-rate trains (scenario 3).
+
+PS-n overloaded (Poisson at 1.5x) *and* CS-n trains on: the paper observes
+that the effects of correlated sources are magnified under overload for
+H-WFQ, while H-WF2Q+'s worst case "remains almost the same" across all
+three scenarios thanks to worst-case fairness.
+"""
+
+from repro.analysis.bounds import hpfq_delay_bound
+from repro.experiments import delay as exp
+
+from benchmarks.conftest import run_once
+
+DURATION = 10.0
+
+
+def _run_all():
+    out = {}
+    for scenario in (1, 3):
+        for policy in ("wf2qplus", "wfq"):
+            out[(policy, scenario)] = exp.run_delay_experiment(
+                policy, scenario=scenario, duration=DURATION, seed=3)
+    return out
+
+
+def test_fig7_delay_scenario3(benchmark, results_writer):
+    traces = run_once(benchmark, _run_all)
+
+    lines = ["# Figure 7: RT-1 delay vs time, scenario 3 (overload + CS)",
+             "# columns: arrival_time_s  delay_ms"]
+    stats = {}
+    for (policy, scenario), trace in traces.items():
+        delays = [d for _t, d in trace.delays("RT-1")]
+        stats[(policy, scenario)] = max(delays)
+        if scenario == 3:
+            lines.append(f"## H-{policy}")
+            lines.extend(
+                f"{t:.4f} {1000 * d:.3f}" for t, d in trace.delays("RT-1"))
+    lines.append("# max delay (ms) per (policy, scenario)")
+    for key, mx in stats.items():
+        lines.append(f"{key}: {1000 * mx:.2f}")
+    results_writer("fig7_delay_scenario3.txt", lines)
+
+    spec = exp.build_fig3_spec()
+    bound = float(hpfq_delay_bound(
+        spec, "RT-1", exp.RT1_SIGMA, exp.FIG3_LINK_RATE,
+        lambda n: exp.FIG3_PACKET_LENGTH))
+    # H-WF2Q+ honours its bound in every scenario and stays stable.
+    assert stats[("wf2qplus", 3)] <= bound + 1e-9
+    assert stats[("wf2qplus", 3)] <= 1.5 * stats[("wf2qplus", 1)]
+    # H-WFQ is worse than H-WF2Q+ under combined overload + correlation.
+    assert stats[("wfq", 3)] > stats[("wf2qplus", 3)]

@@ -1,0 +1,69 @@
+"""Figure 9 — hierarchical link sharing: measured vs ideal H-GPS bandwidth.
+
+The Figure 8 hierarchy runs 11 TCP sessions plus one scripted on/off source
+per level.  For each interval between on/off transitions the measured
+bandwidth of TCP-{1,5,8,10,11} must track the ideal H-GPS allocation
+(hierarchical waterfilling with the on/off sources capped at their peak),
+and the step *directions* at the narrative's transitions must match
+Section 5.2.
+"""
+
+import pytest
+
+from repro.analysis.bandwidth import (
+    exponential_average,
+    mean_rate,
+    throughput_series,
+)
+from repro.core.hgps import hierarchical_fair_rates
+from repro.experiments import linksharing as exp
+
+from benchmarks.conftest import run_once
+
+DURATION = 10.0
+WATCHED = ["TCP-1", "TCP-5", "TCP-8", "TCP-10", "TCP-11"]
+
+
+def test_fig9_link_sharing(benchmark, results_writer):
+    trace = run_once(benchmark, exp.run_linksharing, "wf2qplus",
+                     duration=DURATION)
+    spec = exp.build_fig8_spec()
+
+    lines = ["# Figure 9: measured vs ideal bandwidth (Mbps)",
+             "# interval  flow  measured  ideal"]
+    errs = []
+    for t1, t2, active, demands in exp.ideal_intervals(DURATION):
+        ideal = hierarchical_fair_rates(spec, active, exp.FIG8_LINK_RATE,
+                                        demands)
+        m1 = t1 + 0.3 * (t2 - t1)  # skip the TCP adaptation transient
+        for fid in WATCHED:
+            measured = mean_rate(trace, fid, m1, t2)
+            target = float(ideal[fid])
+            errs.append(abs(measured - target) / target)
+            lines.append(
+                f"[{t1:5.2f},{t2:5.2f})  {fid:7s}  "
+                f"{measured / 1e6:6.3f}  {target / 1e6:6.3f}"
+            )
+    mean_err = sum(errs) / len(errs)
+    lines.append(f"# mean relative error {mean_err:.4f}  max {max(errs):.4f}")
+
+    # The paper's Figure 9(a): 50 ms-window exponentially averaged curves.
+    lines.append("# 50ms EMA bandwidth series (time_s rate_mbps)")
+    for fid in WATCHED:
+        series = exponential_average(
+            throughput_series(trace, fid, bucket=0.05, until=DURATION))
+        lines.append(f"## {fid}")
+        lines.extend(f"{t:.3f} {v / 1e6:.4f}" for t, v in series)
+    results_writer("fig9_link_sharing.txt", lines)
+
+    # Shape assertions.
+    assert mean_err < 0.10, f"measured curves diverge from ideal: {mean_err}"
+    # Narrative step directions at t = 5 s (before 5.25 s).
+    for fid, direction in (("TCP-5", +1), ("TCP-8", +1),
+                           ("TCP-10", -1), ("TCP-11", -1)):
+        before = mean_rate(trace, fid, 4.0, 5.0)
+        after = mean_rate(trace, fid, 5.02, 5.24)
+        assert (after - before) * direction > 0, (fid, before, after)
+    # TCP-1 (level 1) is insulated from the t = 5 s reshuffle below N1.
+    assert mean_rate(trace, "TCP-1", 5.02, 5.24) == pytest.approx(
+        mean_rate(trace, "TCP-1", 4.0, 5.0), rel=0.1)

@@ -1,0 +1,62 @@
+"""End-to-end delay across H hops of WF2Q+ servers vs the network bound.
+
+Extends the paper's per-hop guarantees with the classic Parekh-Gallager
+network result: sweep the hop count, congest every hop with cross traffic,
+and check the measured worst-case end-to-end delay of a shaped session
+against ``sigma/r_i + (H-1) L/r_i + sum_h L/r_h``.
+"""
+
+from repro.analysis.bounds import end_to_end_delay_bound
+from repro.core.wf2qplus import WF2QPlusScheduler
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.traffic.source import CBRSource, TraceSource
+
+from benchmarks.conftest import run_once
+
+RATE = 10_000.0
+PKT = 100.0
+SIGMA = 3 * PKT          # 3-packet bursts
+RHO = 1_000.0            # < r_i = 2500
+
+
+def run_chain(hops):
+    sim = Simulator()
+    net = Network(sim)
+    for h in range(hops):
+        net.add_node(f"s{h}", WF2QPlusScheduler(RATE))
+    path = [f"s{h}" for h in range(hops)]
+    net.add_route("rt", path, share=1)           # r_i = RATE / 4
+    for h in range(hops):
+        cross = f"x{h}"
+        net.add_route(cross, [f"s{h}"], share=3)
+        CBRSource(cross, rate=0.95 * RATE, packet_length=PKT).attach(
+            sim, net.entry(cross)).start()
+    times = [0.3 * b for b in range(60) for _ in range(3)]
+    TraceSource("rt", times, PKT).attach(sim, net.entry("rt")).start()
+    sim.run(until=40.0)
+    assert net.log.count("rt") == 180
+    return net.log.max_delay("rt")
+
+
+def sweep():
+    out = []
+    for hops in (1, 2, 4, 6):
+        measured = run_chain(hops)
+        bound = end_to_end_delay_bound(
+            SIGMA, RATE / 4, PKT, [(PKT, RATE)] * hops)
+        out.append((hops, measured, bound))
+    return out
+
+
+def test_multihop_delay_bound(benchmark, results_writer):
+    rows = run_once(benchmark, sweep)
+    lines = ["# hops  measured_max_ms  bound_ms"]
+    for hops, measured, bound in rows:
+        lines.append(f"{hops:4d} {1000 * measured:12.2f} {1000 * bound:10.2f}")
+    results_writer("multihop_delay.txt", lines)
+    for hops, measured, bound in rows:
+        assert measured <= bound + 1e-9, (hops, measured, bound)
+    # Delay grows with hops but stays bounded: the 6-hop worst case is
+    # below the 6-hop bound yet above the 1-hop measurement.
+    assert rows[-1][1] > rows[0][1]

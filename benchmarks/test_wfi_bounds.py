@@ -1,0 +1,113 @@
+"""Theorems 1-4 — measured WFI and delay against the closed forms.
+
+Not a figure in the paper but the analytical backbone of Section 3: for
+each one-level scheduler we measure the empirical B-WFI on the Figure 2
+worst-case workload and on random backlog, and check
+
+* WF2Q / WF2Q+ stay within the Theorem 3/4 value (independent of N),
+* WFQ's and SCFQ's measured B-WFI grows ~linearly with N,
+* the H-WF2Q+ session B-WFI stays within Theorem 1's weighted sum.
+"""
+
+from repro.analysis.bounds import hpfq_bwfi, wf2q_wfi
+from repro.analysis.wfi import empirical_bwfi
+from repro.core.scfq import SCFQScheduler
+from repro.core.wf2q import WF2QScheduler
+from repro.core.wf2qplus import WF2QPlusScheduler
+from repro.core.wfq import WFQScheduler
+from repro.config.hierarchy_spec import HierarchySpec, leaf, node
+from repro.core.hierarchy import HPFQScheduler
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.monitor import ServiceTrace
+from repro.traffic.source import TraceSource
+
+from benchmarks.conftest import run_once
+
+
+def fig2_like_trace(make_sched, n_sessions):
+    """Session 1 (share 1/2) bursts n_sessions packets; the other
+    n_sessions-1 sessions (sharing the other 1/2) send one packet each."""
+    sched = make_sched()
+    sched.add_flow(1, 0.5)
+    small = 0.5 / (n_sessions - 1)
+    for j in range(2, n_sessions + 1):
+        sched.add_flow(j, small)
+    sim = Simulator()
+    trace = ServiceTrace()
+    link = Link(sim, sched, trace=trace)
+    TraceSource(1, [0.0] * n_sessions, 1.0).attach(sim, link).start()
+    for j in range(2, n_sessions + 1):
+        TraceSource(j, [0.0], 1.0).attach(sim, link).start()
+    sim.run(until=10.0 * n_sessions)
+    return trace
+
+
+def measure_all(sizes):
+    out = {}
+    for cls in (WFQScheduler, SCFQScheduler, WF2QScheduler,
+                WF2QPlusScheduler):
+        series = []
+        for n in sizes:
+            trace = fig2_like_trace(lambda: cls(1.0), n)
+            series.append((n, empirical_bwfi(trace, 1, 0.5)))
+        out[cls.name] = series
+    return out
+
+
+def test_wfi_vs_n(benchmark, results_writer):
+    sizes = [6, 11, 21, 41]
+    measured = run_once(benchmark, measure_all, sizes)
+
+    lines = ["# Empirical B-WFI of session 1 (bits == packets) vs N",
+             "# N " + " ".join(f"{name:>8s}" for name in measured)]
+    for i, n in enumerate(sizes):
+        row = f"{n:3d} " + " ".join(
+            f"{measured[name][i][1]:8.3f}" for name in measured)
+        lines.append(row)
+    theory = wf2q_wfi(1.0, 1.0, 0.5, 1.0)
+    lines.append(f"# Theorem 3/4 value for WF2Q/WF2Q+: {theory}")
+    results_writer("wfi_vs_n.txt", lines)
+
+    # WF2Q/WF2Q+ flat in N and within the theorem (plus epsilon).
+    for name in ("WF2Q", "WF2Q+"):
+        for _n, alpha in measured[name]:
+            assert alpha <= theory + 1e-6
+    # WFQ grows ~linearly: quadrupling N must at least triple the WFI.
+    wfq = dict(measured["WFQ"])
+    assert wfq[41] >= 3 * wfq[11]
+    # And WFQ at N=41 dwarfs WF2Q+ at N=41.
+    w2qp = dict(measured["WF2Q+"])
+    assert wfq[41] > 5 * max(w2qp[41], theory)
+
+
+def test_hierarchical_wfi_theorem1(benchmark, results_writer):
+    """Measured session B-WFI in a 3-level H-WF2Q+ stays within the
+    Theorem 1 weighted sum of per-node WFIs."""
+    spec = HierarchySpec(node("root", 1, [
+        node("n2", 1, [
+            node("n1", 3, [leaf("i", 1), leaf("s1", 1)]),
+            leaf("s2", 1),
+        ]),
+        leaf("s3", 1),
+    ]))
+
+    def run():
+        sched = HPFQScheduler(spec, 1.0, policy="wf2qplus")
+        sim = Simulator()
+        trace = ServiceTrace()
+        link = Link(sim, sched, trace=trace)
+        for name in ("i", "s1", "s2", "s3"):
+            TraceSource(name, [0.0] * 120, 1.0).attach(sim, link).start()
+        sim.run(until=600.0)
+        return trace
+
+    trace = run_once(benchmark, run)
+    r_i = float(spec.guaranteed_rate("i", 1.0))
+    alpha = empirical_bwfi(trace, "i", r_i)
+    bound = float(hpfq_bwfi(spec, "i", 1.0, lambda n: 1.0))
+    results_writer("wfi_hierarchical.txt", [
+        "# 3-level H-WF2Q+ B-WFI for leaf 'i'",
+        f"measured={alpha:.4f} theorem1_bound={bound:.4f} r_i={r_i:.4f}",
+    ])
+    assert alpha <= bound + 1e-6

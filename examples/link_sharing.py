@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Hierarchical link sharing with TCP — the Figure 8/9 experiment.
+
+Eleven TCP connections and four scripted on/off sources share a 10 Mbps
+link through a four-level H-WF2Q+ hierarchy.  The script prints, for each
+interval between on/off transitions, the bandwidth each examined TCP
+session measured against the ideal H-GPS allocation (hierarchical
+waterfilling), plus the step directions at the paper's narrative moments.
+
+Run:  python examples/link_sharing.py [duration_seconds]
+"""
+
+import sys
+
+from repro.analysis.bandwidth import mean_rate
+from repro.core.hgps import hierarchical_fair_rates
+from repro.experiments import linksharing as exp
+
+WATCHED = ["TCP-1", "TCP-5", "TCP-8", "TCP-10", "TCP-11"]
+
+
+def main(duration=10.0):
+    print(f"Figure 8 hierarchy, H-WF2Q+, link "
+          f"{exp.FIG8_LINK_RATE / 1e6:.0f} Mbps, duration {duration:.0f}s")
+    print("on/off schedule:")
+    for name, intervals in sorted(exp.ONOFF_SCHEDULE.items()):
+        desc = ", ".join(
+            f"[{a:g}s, {'...' if b is None else f'{b:g}s'})"
+            for a, b in intervals)
+        print(f"  {name}: on during {desc}")
+    print()
+
+    trace = exp.run_linksharing("wf2qplus", duration=duration)
+    spec = exp.build_fig8_spec()
+
+    print(f"{'interval':16s} " + " ".join(f"{f:>13s}" for f in WATCHED))
+    errs = []
+    for t1, t2, active, demands in exp.ideal_intervals(duration):
+        ideal = hierarchical_fair_rates(spec, active, exp.FIG8_LINK_RATE,
+                                        demands)
+        m1 = t1 + 0.3 * (t2 - t1)
+        cells = []
+        for fid in WATCHED:
+            measured = mean_rate(trace, fid, m1, t2)
+            target = float(ideal[fid])
+            errs.append(abs(measured - target) / target)
+            cells.append(f"{measured / 1e6:5.2f}/{target / 1e6:5.2f}")
+        print(f"[{t1:5.2f},{t2:5.2f})  " + " ".join(f"{c:>13s}" for c in cells))
+    print(f"\ncells are measured/ideal Mbps; "
+          f"mean relative error {sum(errs) / len(errs):.1%}")
+
+    if duration > 5.3:
+        print("\nstep directions at t=5s (paper Section 5.2):")
+        for fid, expected in (("TCP-5", "up"), ("TCP-8", "up"),
+                              ("TCP-10", "down"), ("TCP-11", "down")):
+            before = mean_rate(trace, fid, 4.0, 5.0)
+            after = mean_rate(trace, fid, 5.02, 5.24)
+            got = "up" if after > before else "down"
+            status = "ok" if got == expected else "MISMATCH"
+            print(f"  {fid:7s} {before / 1e6:.2f} -> {after / 1e6:.2f} Mbps "
+                  f"({got}, expected {expected}: {status})")
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 10.0)

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The pyproject.toml carries all metadata; this file exists so that
+``pip install -e .`` works in offline environments that lack the ``wheel``
+package required by the PEP 660 editable-install backend.
+"""
+
+from setuptools import setup
+
+setup()

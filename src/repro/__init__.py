@@ -1,0 +1,97 @@
+"""repro — Hierarchical Packet Fair Queueing algorithms.
+
+A from-scratch reproduction of *Hierarchical Packet Fair Queueing
+Algorithms* (Bennett & Zhang, SIGCOMM 1996): the WF2Q+ scheduler, the H-PFQ
+construction (H-WF2Q+, H-WFQ, H-SCFQ, H-SFQ), fluid GPS / H-GPS references,
+the classical baselines (WFQ, WF2Q, SCFQ, SFQ, DRR, FIFO), a discrete-event
+simulator with traffic sources and a small TCP Reno model, and the paper's
+delay/fairness analysis toolkit (B-WFI, T-WFI, SBI, Theorems 1-4 bounds).
+
+Quickstart::
+
+    from repro import WF2QPlusScheduler, Packet
+
+    sched = WF2QPlusScheduler(rate=1_000_000)
+    sched.add_flow("voice", share=3)
+    sched.add_flow("bulk", share=1)
+    sched.enqueue(Packet("voice", length=8_000), now=0.0)
+    sched.enqueue(Packet("bulk", length=8_000), now=0.0)
+    record = sched.dequeue()          # -> ScheduledPacket for "voice"
+
+See ``examples/quickstart.py`` for the guided tour and DESIGN.md for the
+paper-to-module map.
+"""
+
+from repro.core import (
+    DRRScheduler,
+    FFQScheduler,
+    FIFOScheduler,
+    FlowConfig,
+    GPSFluidSystem,
+    HGPSFluidSystem,
+    HPFQScheduler,
+    LeakyBucket,
+    Packet,
+    PacketScheduler,
+    SCFQScheduler,
+    SFQScheduler,
+    ScheduledPacket,
+    VirtualClockScheduler,
+    WF2QPlusScheduler,
+    WF2QScheduler,
+    WFQScheduler,
+    WRRScheduler,
+    make_hscfq,
+    make_hsfq,
+    make_hwf2qplus,
+    make_hwfq,
+)
+from repro.config import HierarchySpec, NodeSpec, leaf, node
+from repro.errors import (
+    ConfigurationError,
+    EmptySchedulerError,
+    HierarchyError,
+    ReproError,
+    SchedulerError,
+    SimulationError,
+    UnknownFlowError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Packet",
+    "FlowConfig",
+    "LeakyBucket",
+    "PacketScheduler",
+    "ScheduledPacket",
+    "FIFOScheduler",
+    "DRRScheduler",
+    "GPSFluidSystem",
+    "WFQScheduler",
+    "WF2QScheduler",
+    "WF2QPlusScheduler",
+    "SCFQScheduler",
+    "SFQScheduler",
+    "VirtualClockScheduler",
+    "WRRScheduler",
+    "FFQScheduler",
+    "HGPSFluidSystem",
+    "HPFQScheduler",
+    "HierarchySpec",
+    "NodeSpec",
+    "leaf",
+    "node",
+    "make_hwf2qplus",
+    "make_hwfq",
+    "make_hscfq",
+    "make_hsfq",
+    "ReproError",
+    "ConfigurationError",
+    "SchedulerError",
+    "UnknownFlowError",
+    "EmptySchedulerError",
+    "HierarchyError",
+    "SimulationError",
+    "__version__",
+]

@@ -1,0 +1,89 @@
+"""Bandwidth-versus-time measurement (Figure 9).
+
+The paper measures per-session bandwidth "by exponentially averaging over
+50ms windows".  :func:`throughput_series` buckets a flow's served bits into
+fixed windows; :func:`exponential_average` applies the EMA smoothing.  The
+combination is what ``benchmarks/test_fig9_link_sharing.py`` compares
+against the ideal H-GPS rates from
+:func:`repro.analysis.bandwidth.ideal_rate_series` /
+:func:`repro.core.hgps.hierarchical_fair_rates`.
+"""
+
+from repro.core.hgps import hierarchical_fair_rates
+
+__all__ = [
+    "throughput_series",
+    "exponential_average",
+    "mean_rate",
+    "ideal_rate_series",
+]
+
+
+def throughput_series(trace, flow_id, bucket, until=None, start=0.0):
+    """[(window_end_time, rate_bps)] with fixed ``bucket``-second windows.
+
+    Bits are attributed to the window containing the packet's transmission
+    *finish*.  Windows with no traffic yield rate 0, so the series is
+    uniformly spaced — required before exponential averaging.
+    """
+    if bucket <= 0:
+        raise ValueError(f"bucket must be positive, got {bucket!r}")
+    records = trace.services_of(flow_id)
+    if until is None:
+        until = max((r.finish_time for r in records), default=start)
+    n_windows = int((until - start) / bucket + 0.5)
+    bits = [0.0] * max(n_windows, 0)
+    for rec in records:
+        if rec.finish_time < start or rec.finish_time > until:
+            continue
+        idx = int((rec.finish_time - start) / bucket)
+        if idx >= len(bits):
+            idx = len(bits) - 1
+        if idx >= 0:
+            bits[idx] += rec.packet.length
+    return [
+        (start + (i + 1) * bucket, b / bucket) for i, b in enumerate(bits)
+    ]
+
+
+def exponential_average(series, alpha=0.3):
+    """EMA-smooth a [(time, value)] series; alpha is the new-sample weight."""
+    if not 0 < alpha <= 1:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha!r}")
+    out = []
+    ema = None
+    for t, v in series:
+        ema = v if ema is None else alpha * v + (1 - alpha) * ema
+        out.append((t, ema))
+    return out
+
+
+def mean_rate(trace, flow_id, t1, t2):
+    """Average service rate of a flow over [t1, t2] in bits/second."""
+    if t2 <= t1:
+        raise ValueError("t2 must exceed t1")
+    bits = sum(
+        r.packet.length for r in trace.services_of(flow_id)
+        if t1 < r.finish_time <= t2
+    )
+    return bits / (t2 - t1)
+
+
+def ideal_rate_series(spec, link_rate, intervals, flow_id):
+    """Piecewise-constant ideal H-GPS rate for one leaf.
+
+    ``intervals`` is a list of ``(t_start, t_end, active_leaves)`` (or
+    ``(t_start, t_end, active_leaves, demands)``) describing which leaves
+    compete in each interval; returns [(t_start, t_end, rate)] for the
+    requested leaf — the Figure 9(b) "ideal" staircase.
+    """
+    out = []
+    for entry in intervals:
+        if len(entry) == 3:
+            t1, t2, active = entry
+            demands = None
+        else:
+            t1, t2, active, demands = entry
+        rates = hierarchical_fair_rates(spec, active, link_rate, demands)
+        out.append((t1, t2, rates[flow_id]))
+    return out

@@ -1,0 +1,144 @@
+"""Closed-form worst-case fairness and delay bounds from the paper.
+
+All quantities are in bits (WFI) and seconds (delay); rates in bits/second.
+
+One-level servers
+-----------------
+* :func:`wf2q_wfi` — Theorems 3(2)/4(2): the B-WFI of WF2Q and WF2Q+,
+  ``L_i,max + (L_max - L_i,max) * r_i / r`` — independent of N.
+* :func:`wfq_wfi_lower_bound` — the Section 3.1 construction: WFQ can run a
+  session ~N/2 packets ahead, so its B-WFI grows linearly with N.
+* :func:`wf2q_delay_bound` / :func:`wfq_delay_bound` — the GPS-tight bound
+  ``sigma/r_i + L_max/r`` for a (sigma, r_i)-constrained session
+  (Theorem 3(3)/4(3); WFQ shares it, Section 3.1).
+* :func:`scfq_delay_bound` — Golestani's bound, looser by one maximum
+  packet time per *competing session*: ``sigma/r_i + L_i/r_i +
+  sum_{j != i} L_j,max / r``.
+
+Hierarchical servers
+--------------------
+* :func:`hpfq_bwfi` — Theorem 1: the session B-WFI of an H-PFQ server is
+  the share-weighted sum of per-node B-WFIs along the leaf-to-root path,
+  ``sum_h (phi_i / phi_p^h(i)) * alpha_p^h(i)``.
+* :func:`hpfq_delay_bound` — Corollaries 1-2: for a leaky-bucket session,
+  ``sigma/r_i + sum_h alpha_p^h(i) / r_p^h(i)``; with uniform packets and
+  WF2Q+ nodes this is ``sigma/r_i + sum_h L_max / r_p^h(i)``.
+"""
+
+__all__ = [
+    "wf2q_wfi",
+    "wfq_wfi_lower_bound",
+    "wf2q_delay_bound",
+    "wfq_delay_bound",
+    "scfq_delay_bound",
+    "hpfq_bwfi",
+    "hpfq_delay_bound",
+    "end_to_end_delay_bound",
+    "sbi_from_delay_bound",
+]
+
+
+def wf2q_wfi(l_i_max, l_max, rate_i, rate):
+    """B-WFI (bits) of WF2Q/WF2Q+ for session i — eq. (26)/(30)."""
+    return l_i_max + (l_max - l_i_max) * rate_i / rate
+
+
+def wfq_wfi_lower_bound(n_sessions, l_max, rate_i, rate):
+    """A lower bound on WFQ's B-WFI from the Figure 2 construction.
+
+    A session with share 1/2 among N sessions can be served N/2 packets
+    before GPS would have; afterwards it receives no service while the
+    other sessions catch up (about N/2 packet times), during which its
+    guaranteed share amounts to ``(N/2) * L_max * (rate_i / rate)`` bits —
+    so the B-WFI grows linearly in N, in contrast to eq. (26).
+    """
+    return (n_sessions / 2.0) * l_max * rate_i / rate
+
+
+def wf2q_delay_bound(sigma, rate_i, l_max, rate):
+    """Delay bound of WF2Q/WF2Q+ for a (sigma, r_i)-constrained session."""
+    return sigma / rate_i + l_max / rate
+
+
+def wfq_delay_bound(sigma, rate_i, l_max, rate):
+    """WFQ's delay bound — identical to WF2Q's (Section 3.1)."""
+    return sigma / rate_i + l_max / rate
+
+
+def scfq_delay_bound(sigma, rate_i, l_i_max, other_l_max, rate):
+    """SCFQ's delay bound for a (sigma, r_i)-constrained session.
+
+    ``other_l_max`` is an iterable of the maximum packet lengths of the
+    competing sessions; each contributes one packet transmission time.
+    """
+    return sigma / rate_i + l_i_max / rate_i + sum(other_l_max) / rate
+
+
+def end_to_end_delay_bound(sigma, rate_i, l_i_max, hops, propagation=0.0):
+    """Multi-hop delay bound for WFQ-class (delay-optimal PFQ) servers.
+
+    Parekh & Gallager's network result (the paper's reference [14], part
+    II; see also [10]): a (sigma, r_i)-constrained session crossing H hops,
+    each guaranteeing rate r_i, satisfies
+
+        D <= sigma/r_i + (H-1) * L_i,max / r_i + sum_h L_max,h / r_h + prop
+
+    ``hops`` is an iterable of (l_max, link_rate) pairs, one per hop.
+    """
+    hops = list(hops)
+    if not hops:
+        raise ValueError("need at least one hop")
+    total = sigma / rate_i + (len(hops) - 1) * l_i_max / rate_i + propagation
+    for l_max, link_rate in hops:
+        total += l_max / link_rate
+    return total
+
+
+def sbi_from_delay_bound(delay_bound, rate_i, sigma):
+    """Definition 3 / Section 3.2: a rate-based server guaranteeing delay
+    D to a (sigma, r_i) session guarantees an SBI of ``r_i * D - sigma``."""
+    return rate_i * delay_bound - sigma
+
+
+def _path_nodes(spec, leaf_name):
+    """[leaf, p(leaf), ..., child-of-root] — the nodes whose logical queues
+    contribute a per-node WFI term (p^h(i) for h = 0 .. H-1)."""
+    names = [leaf_name]
+    parent = spec.parent(leaf_name)
+    while parent is not None and spec.parent(parent.name) is not None:
+        names.append(parent.name)
+        parent = spec.parent(parent.name)
+    return names
+
+
+def hpfq_bwfi(spec, leaf_name, link_rate, node_wfi):
+    """Theorem 1: session B-WFI of an H-PFQ server, in bits.
+
+    ``node_wfi`` maps a path node name to the B-WFI (bits) that its *parent
+    server* guarantees to its logical queue; pass a dict or a callable.
+    For uniform packets and WF2Q+ nodes, ``node_wfi = lambda n: l_max``.
+    """
+    getter = node_wfi if callable(node_wfi) else node_wfi.__getitem__
+    phi_i = spec.guaranteed_fraction(leaf_name)
+    total = 0
+    for name in _path_nodes(spec, leaf_name):
+        phi_h = spec.guaranteed_fraction(name)
+        total += (phi_i / phi_h) * getter(name)
+    return total
+
+
+def hpfq_delay_bound(spec, leaf_name, sigma, link_rate, node_wfi):
+    """Corollary 1 (and Corollary 2 when nodes are WF2Q+): delay bound in
+    seconds for a (sigma, r_i)-constrained session of an H-PFQ server.
+
+    ``sigma/r_i + sum_h alpha_p^h(i) / r_p^h(i)`` — with
+    ``node_wfi = lambda n: l_max`` this reduces to Corollary 2's
+    ``sigma/r_i + sum_h L_max / r_p^h(i)``.
+    """
+    getter = node_wfi if callable(node_wfi) else node_wfi.__getitem__
+    rate_i = spec.guaranteed_rate(leaf_name, link_rate)
+    total = sigma / rate_i
+    for name in _path_nodes(spec, leaf_name):
+        rate_h = spec.guaranteed_rate(name, link_rate)
+        total += getter(name) / rate_h
+    return total

@@ -1,0 +1,107 @@
+"""Fairness metrics beyond the WFI.
+
+* :func:`jain_index` — Jain's fairness index over normalised throughputs
+  (1.0 = perfectly proportional to shares).
+* :func:`relative_fairness_bound` — Golestani's RFB: the worst
+  ``|W_i/r_i - W_j/r_j|`` over any interval where both flows are
+  backlogged.  GPS has RFB 0; SCFQ was designed to bound exactly this
+  quantity (while leaving the WFI unbounded — the distinction Section 3 of
+  the paper builds on).
+* :func:`throughput_shares` — measured share of each flow over a window.
+"""
+
+from repro.analysis.wfi import backlogged_periods
+
+__all__ = ["jain_index", "relative_fairness_bound", "throughput_shares"]
+
+
+def jain_index(values):
+    """Jain's fairness index: (sum x)^2 / (n * sum x^2), in (0, 1]."""
+    values = [v for v in values]
+    if not values:
+        raise ValueError("need at least one value")
+    if any(v < 0 for v in values):
+        raise ValueError("values must be non-negative")
+    total = sum(values)
+    if total == 0:
+        return 1.0
+    squares = sum(v * v for v in values)
+    return (total * total) / (len(values) * squares)
+
+
+def throughput_shares(trace, t1, t2):
+    """Fraction of the served bits each flow received over (t1, t2]."""
+    if t2 <= t1:
+        raise ValueError("t2 must exceed t1")
+    bits = {}
+    for rec in trace.services:
+        if t1 < rec.finish_time <= t2:
+            bits[rec.flow_id] = bits.get(rec.flow_id, 0) + rec.packet.length
+    total = sum(bits.values())
+    if total == 0:
+        return {}
+    return {fid: b / total for fid, b in bits.items()}
+
+
+def _normalized_service_curve(trace, flow_id, rate_i):
+    """Breakpoints of W_i(0,t)/r_i: [(time, normalized_service)]."""
+    points = [(0.0, 0.0)]
+    total = 0.0
+    for rec in trace.services_of(flow_id):
+        points.append((rec.start_time, total / rate_i))
+        total += rec.packet.length
+        points.append((rec.finish_time, total / rate_i))
+    return points
+
+
+def _value_at(points, t):
+    """Piecewise-linear interpolation of a breakpoint curve at time t."""
+    prev_t, prev_v = points[0]
+    if t <= prev_t:
+        return prev_v
+    for pt, pv in points[1:]:
+        if t <= pt:
+            if pt == prev_t:
+                return pv
+            frac = (t - prev_t) / (pt - prev_t)
+            return prev_v + frac * (pv - prev_v)
+        prev_t, prev_v = pt, pv
+    return prev_v
+
+
+def relative_fairness_bound(trace, flow_a, flow_b, rate_a, rate_b,
+                            samples=400):
+    """Measured RFB: max over jointly backlogged intervals of
+    ``|(W_a(t1,t2)/r_a) - (W_b(t1,t2)/r_b)|``.
+
+    Computed by sampling ``g(t) = W_a/r_a - W_b/r_b`` on a uniform grid
+    inside each maximal joint-backlog interval and taking ``max g - min g``
+    there; breakpoint-exact at packet boundaries because the sample grid is
+    augmented with all service-event times.
+    """
+    periods_a = backlogged_periods(trace, flow_a)
+    periods_b = backlogged_periods(trace, flow_b)
+    joint = []
+    for a1, a2 in periods_a:
+        for b1, b2 in periods_b:
+            lo, hi = max(a1, b1), min(a2, b2)
+            if hi > lo:
+                joint.append((lo, hi))
+    if not joint:
+        return 0.0
+    curve_a = _normalized_service_curve(trace, flow_a, rate_a)
+    curve_b = _normalized_service_curve(trace, flow_b, rate_b)
+    event_times = sorted(
+        {t for t, _v in curve_a} | {t for t, _v in curve_b}
+    )
+    worst = 0.0
+    for lo, hi in joint:
+        ts = [t for t in event_times if lo <= t <= hi]
+        ts += [lo + (hi - lo) * k / samples for k in range(samples + 1)]
+        values = [
+            _value_at(curve_a, t) - _value_at(curve_b, t) for t in sorted(ts)
+        ]
+        spread = max(values) - min(values)
+        if spread > worst:
+            worst = spread
+    return worst

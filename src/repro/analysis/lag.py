@@ -1,0 +1,45 @@
+"""Service lag: how far a flow's service trails (or leads) its arrivals.
+
+Figure 5 of the paper plots, for the real-time session, the cumulative
+arrival curve against the cumulative service curve; the vertical gap is the
+number of packets queued, and the horizontal gap at a given packet count is
+how long that packet waited.  Under H-WF2Q+ the two curves hug each other;
+under H-WFQ they separate by many packets during the delay spikes.
+
+:func:`service_lag_series` merges the two step curves into a single series
+of (time, arrived - served); :func:`max_service_lag` is the worst vertical
+gap, the quantity the figure makes visible.
+"""
+
+__all__ = ["service_lag_series", "max_service_lag"]
+
+
+def service_lag_series(trace, flow_id, unit="packets"):
+    """[(time, lag)] where lag = cumulative arrivals - cumulative service.
+
+    The series contains one point per arrival or service-completion event,
+    in time order (ties: service first, so the lag is conservative).
+    """
+    arrival_curve = trace.arrival_curve(flow_id, unit=unit)
+    service_curve = trace.service_curve(flow_id, unit=unit)
+    events = [(t, 0, total) for t, total in service_curve]
+    events += [(t, 1, total) for t, total in arrival_curve]
+    events.sort(key=lambda e: (e[0], e[1]))
+    arrived = 0
+    served = 0
+    out = []
+    for t, kind, total in events:
+        if kind == 1:
+            arrived = total
+        else:
+            served = total
+        out.append((t, arrived - served))
+    return out
+
+
+def max_service_lag(trace, flow_id, unit="packets"):
+    """The worst arrival-vs-service gap, in packets or bits."""
+    series = service_lag_series(trace, flow_id, unit=unit)
+    if not series:
+        return 0
+    return max(lag for _t, lag in series)

@@ -1,0 +1,158 @@
+"""Empirical Worst-case Fair Index measurement from a service trace.
+
+Definitions 1-2 of the paper, evaluated on simulation output:
+
+* **B-WFI** (bits): the smallest alpha such that
+  ``W_i(t1, t2) >= r_i (t2 - t1) - alpha`` for every interval inside a
+  session-i backlogged period.  Computed in O(events) by scanning
+  ``f(t) = r_i * t - W_i(0, t)`` (piecewise linear: slope ``r_i`` while the
+  flow waits, ``r_i - r`` while it transmits) and tracking, within each
+  backlogged period, the maximum of ``f(t2) - min_{t1 <= t2} f(t1)``.
+
+* **T-WFI** (seconds): the smallest A such that every packet's delay is at
+  most ``Q_i(a)/r_i + A``, where ``Q_i(a)`` counts the bits in the session
+  queue on arrival (including the arriving packet; a packet still being
+  transmitted counts in full).
+
+The measurement assumes the trace contains no buffer drops for the measured
+flow (arrivals and services must pair up); a mismatch raises ValueError.
+"""
+
+__all__ = ["empirical_bwfi", "empirical_twfi", "backlogged_periods"]
+
+
+def backlogged_periods(trace, flow_id):
+    """[(start, end)] intervals during which the flow's queue is non-empty.
+
+    Reconstructed by merging the flow's arrivals (+1) with its service
+    completions (-1).  The final period is closed at the last event even if
+    the flow is still backlogged when the trace ends.
+    """
+    arrivals = [t for _fid, t, _len in trace.arrivals_of(flow_id)]
+    finishes = [r.finish_time for r in trace.services_of(flow_id)]
+    if len(finishes) > len(arrivals):
+        raise ValueError(
+            f"flow {flow_id!r}: more services than arrivals in trace"
+        )
+    events = [(t, +1) for t in arrivals] + [(t, -1) for t in finishes]
+    # At equal times, departures before arrivals: a packet finishing as
+    # another arrives separates two backlogged periods, matching the
+    # busy-period convention of the schedulers.
+    events.sort(key=lambda e: (e[0], e[1]))
+    periods = []
+    depth = 0
+    start = None
+    last_time = None
+    for t, delta in events:
+        prev = depth
+        depth += delta
+        if prev == 0 and depth > 0:
+            start = t
+        elif prev > 0 and depth == 0:
+            periods.append((start, t))
+            start = None
+        last_time = t
+    if start is not None:
+        periods.append((start, last_time))
+    return periods
+
+
+def empirical_bwfi(trace, flow_id, guaranteed_rate):
+    """Measured B-WFI (bits) of a flow against its guaranteed rate.
+
+    ``guaranteed_rate`` is r_i = phi_i * r (for H-PFQ, the product of
+    normalised shares down the tree times the link rate, i.e.
+    ``spec.guaranteed_rate(leaf, link_rate)``).
+    """
+    services = trace.services_of(flow_id)
+    periods = backlogged_periods(trace, flow_id)
+    if not periods:
+        return 0.0
+
+    # Breakpoints of f(t) = r_i * t - W_i(0, t): service start/finish times.
+    # We walk each backlogged period, tracking min f so far and max gap.
+    def f_slope_segments():
+        """Yield (t_start, t_end, serving) covering all service activity."""
+        cursor = None
+        for rec in services:
+            if cursor is not None and rec.start_time > cursor:
+                yield (cursor, rec.start_time, False)
+            yield (rec.start_time, rec.finish_time, True)
+            cursor = rec.finish_time
+
+    worst = 0.0
+    seg_iter = iter(f_slope_segments())
+    segment = next(seg_iter, None)
+    for p_start, p_end in periods:
+        f_val = 0.0            # f relative to the period start
+        f_min = 0.0
+        t = p_start
+        # Skip segments that ended before this period.
+        while segment is not None and segment[1] <= p_start:
+            segment = next(seg_iter, None)
+        while t < p_end:
+            if segment is None or segment[0] >= p_end:
+                nxt, serving = p_end, False
+            elif segment[0] > t:
+                nxt, serving = segment[0], False
+            else:
+                nxt, serving = min(segment[1], p_end), segment[2]
+            dt = nxt - t
+            if serving:
+                f_val += (guaranteed_rate - trace_link_rate(trace)) * dt
+            else:
+                f_val += guaranteed_rate * dt
+            t = nxt
+            if segment is not None and t >= segment[1]:
+                segment = next(seg_iter, None)
+            if f_val < f_min:
+                f_min = f_val
+            elif f_val - f_min > worst:
+                worst = f_val - f_min
+    return worst
+
+
+def trace_link_rate(trace):
+    """Infer the link rate from any service record (length / duration)."""
+    if not trace.services:
+        raise ValueError("empty trace: cannot infer link rate")
+    rec = trace.services[0]
+    return rec.packet.length / (rec.finish_time - rec.start_time)
+
+
+def empirical_twfi(trace, flow_id, guaranteed_rate):
+    """Measured T-WFI (seconds): max over packets of
+    ``delay - Q_i(arrival) / r_i`` (Definition 1, rearranged)."""
+    arrivals = trace.arrivals_of(flow_id)
+    services = trace.services_of(flow_id)
+    if len(services) > len(arrivals):
+        raise ValueError(
+            f"flow {flow_id!r}: more services than arrivals in trace"
+        )
+    finish_times = sorted(r.finish_time for r in services)
+    finish_by_uid = {r.packet.uid: r.finish_time for r in services}
+    # Cumulative arrived bits at each arrival; cumulative served bits by
+    # scanning finish events.
+    worst = 0.0
+    arrived_bits = 0.0
+    served_idx = 0
+    served_bits = 0.0
+    lengths = {r.packet.uid: r.packet.length for r in services}
+    uid_order = [r.packet.uid for r in services]
+    finish_events = sorted(
+        ((finish_by_uid[uid], lengths[uid]) for uid in uid_order)
+    )
+    for idx, (_fid, a_time, length) in enumerate(arrivals):
+        # Bits fully served strictly before (or at) the arrival instant.
+        while served_idx < len(finish_events) and finish_events[served_idx][0] <= a_time:
+            served_bits += finish_events[served_idx][1]
+            served_idx += 1
+        arrived_bits += length
+        queue_bits = arrived_bits - served_bits  # includes this packet
+        # Find this packet's departure (same order as arrivals: FIFO flow).
+        if idx < len(finish_times):
+            depart = finish_times[idx]
+            slack = (depart - a_time) - queue_bits / guaranteed_rate
+            if slack > worst:
+                worst = slack
+    return worst

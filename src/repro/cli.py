@@ -1,0 +1,153 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Usage (also via ``python -m repro``)::
+
+    python -m repro fig2
+    python -m repro delay --scenario 1 --policy wfq --duration 6
+    python -m repro linksharing --duration 10
+    python -m repro bounds
+
+Each subcommand prints a compact text report; the benchmarks in
+``benchmarks/`` remain the canonical figure-regeneration path (they also
+persist the raw series).
+"""
+
+import argparse
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_fig2(args):
+    from repro.core.wf2q import WF2QScheduler
+    from repro.core.wf2qplus import WF2QPlusScheduler
+    from repro.core.wfq import WFQScheduler
+    from repro.experiments.fig2 import run_fig2
+
+    out = run_fig2([WFQScheduler, WF2QScheduler, WF2QPlusScheduler])
+    print("Figure 2 — service timelines (unit packets, unit rate)")
+    for name in ("WFQ", "WF2Q", "WF2Q+"):
+        order = " ".join(str(fid) for fid, _s, _f in out[name])
+        print(f"  {name:6s} {order}")
+    gps = " ".join(f"{fid}@{t}" for fid, t in out["GPS"])
+    print(f"  GPS    {gps}")
+    return 0
+
+
+def _cmd_delay(args):
+    from repro.analysis.bounds import hpfq_delay_bound
+    from repro.experiments import delay as exp
+
+    spec = exp.build_fig3_spec()
+    bound = float(hpfq_delay_bound(
+        spec, "RT-1", exp.RT1_SIGMA, exp.FIG3_LINK_RATE,
+        lambda n: exp.FIG3_PACKET_LENGTH))
+    trace = exp.run_delay_experiment(args.policy, args.scenario,
+                                     duration=args.duration, seed=args.seed)
+    delays = [d for _t, d in trace.delays("RT-1")]
+    print(f"Figure {3 + args.scenario} scenario {args.scenario}, "
+          f"H-{args.policy}, {args.duration:g}s")
+    print(f"  RT-1 packets   : {len(delays)}")
+    print(f"  max delay      : {1000 * max(delays):.2f} ms")
+    print(f"  mean delay     : {1000 * sum(delays) / len(delays):.2f} ms")
+    print(f"  Cor. 2 bound   : {1000 * bound:.2f} ms "
+          f"({'holds' if max(delays) <= bound else 'exceeded'} "
+          f"for H-wf2qplus; informative only for other policies)")
+    if args.series:
+        for t, d in trace.delays("RT-1"):
+            print(f"{t:.4f} {1000 * d:.3f}")
+    return 0
+
+
+def _cmd_linksharing(args):
+    from repro.analysis.bandwidth import mean_rate
+    from repro.core.hgps import hierarchical_fair_rates
+    from repro.experiments import linksharing as exp
+
+    trace = exp.run_linksharing(args.policy, duration=args.duration)
+    spec = exp.build_fig8_spec()
+    watched = ["TCP-1", "TCP-5", "TCP-8", "TCP-10", "TCP-11"]
+    print(f"Figure 9, H-{args.policy}, {args.duration:g}s "
+          f"(measured/ideal Mbps)")
+    print(f"  {'interval':16s}" + "".join(f"{f:>14s}" for f in watched))
+    errs = []
+    for t1, t2, active, demands in exp.ideal_intervals(args.duration):
+        ideal = hierarchical_fair_rates(spec, active, exp.FIG8_LINK_RATE,
+                                        demands)
+        m1 = t1 + 0.3 * (t2 - t1)
+        row = []
+        for fid in watched:
+            measured = mean_rate(trace, fid, m1, t2)
+            target = float(ideal[fid])
+            errs.append(abs(measured - target) / target)
+            row.append(f"{measured / 1e6:5.2f}/{target / 1e6:5.2f}")
+        print(f"  [{t1:5.2f},{t2:5.2f}) " + "".join(f"{c:>14s}" for c in row))
+    print(f"  mean relative error: {sum(errs) / len(errs):.1%}")
+    return 0
+
+
+def _cmd_bounds(args):
+    from repro.analysis.bounds import (
+        hpfq_bwfi,
+        hpfq_delay_bound,
+        wf2q_wfi,
+        wfq_wfi_lower_bound,
+    )
+    from repro.experiments import delay as exp
+
+    spec = exp.build_fig3_spec()
+    rate = exp.FIG3_LINK_RATE
+    pkt = exp.FIG3_PACKET_LENGTH
+    print("Closed-form bounds for the Figure 3 hierarchy (8 KB packets)")
+    print(f"  link rate: {rate / 1e6:g} Mbps")
+    for name in ("RT-1", "BE-1", "CS-1", "PS-1"):
+        r_i = float(spec.guaranteed_rate(name, rate))
+        alpha = float(hpfq_bwfi(spec, name, rate, lambda n: pkt))
+        d = float(hpfq_delay_bound(spec, name, pkt, rate, lambda n: pkt))
+        print(f"  {name:5s} r_i={r_i / 1e6:6.2f} Mbps  "
+              f"B-WFI={alpha / 8:8.0f} B  D(sigma=1pkt)={1000 * d:8.2f} ms")
+    print()
+    print("One-level WFI comparison (uniform packets, r_i/r = 1/2):")
+    print(f"  WF2Q/WF2Q+ : {wf2q_wfi(pkt, pkt, 0.5, 1.0) / 8:.0f} B "
+          "(independent of N)")
+    for n in (11, 101, 1001):
+        print(f"  WFQ, N={n:5d}: >= "
+              f"{wfq_wfi_lower_bound(n, pkt, 0.5, 1.0) / 8:.0f} B")
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hierarchical Packet Fair Queueing (SIGCOMM '96) "
+                    "experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("fig2", help="print the Figure 2 service timelines"
+                   ).set_defaults(func=_cmd_fig2)
+
+    p_delay = sub.add_parser("delay", help="run a Figures 4-7 scenario")
+    p_delay.add_argument("--scenario", type=int, choices=(1, 2, 3), default=1)
+    p_delay.add_argument("--policy", default="wf2qplus",
+                         choices=("wf2qplus", "wfq", "scfq", "sfq"))
+    p_delay.add_argument("--duration", type=float, default=6.0)
+    p_delay.add_argument("--seed", type=int, default=1)
+    p_delay.add_argument("--series", action="store_true",
+                         help="also print the per-packet delay series")
+    p_delay.set_defaults(func=_cmd_delay)
+
+    p_ls = sub.add_parser("linksharing", help="run the Figure 9 experiment")
+    p_ls.add_argument("--policy", default="wf2qplus",
+                      choices=("wf2qplus", "wfq", "scfq", "sfq"))
+    p_ls.add_argument("--duration", type=float, default=10.0)
+    p_ls.set_defaults(func=_cmd_linksharing)
+
+    sub.add_parser("bounds", help="print the closed-form bounds"
+                   ).set_defaults(func=_cmd_bounds)
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)

@@ -1,0 +1,5 @@
+"""Declarative configuration of scheduling hierarchies."""
+
+from repro.config.hierarchy_spec import HierarchySpec, NodeSpec, leaf, node
+
+__all__ = ["HierarchySpec", "NodeSpec", "leaf", "node"]

@@ -1,0 +1,68 @@
+"""Ablation variants of WF2Q+ — each removes exactly one design element.
+
+DESIGN.md calls out two load-bearing choices in WF2Q+; these classes let
+the benchmarks isolate them:
+
+* :class:`NoEligibilityWF2QPlus` — keeps the eq. (27) virtual time but
+  selects by *smallest finish tag over all backlogged flows* (SFF), i.e.
+  drops the eligibility test.  This is "WFQ with the cheap virtual time":
+  delay bounds survive, worst-case fairness does not (a high-share flow's
+  queued burst runs ahead again, as in Figure 2).
+
+* :class:`NoFloorWF2QPlus` — keeps SEFF but removes the ``min S_i`` arm of
+  the virtual time, leaving pure slope-1 advance.  The floor is what
+  guarantees an eligible packet always exists; without it the scheduler
+  must fall back to the earliest start tag to stay work-conserving, and a
+  newly backlogged session can start *behind* every existing session,
+  hurting its short-term share.
+
+These classes are for experiments; production code should use
+:class:`~repro.core.wf2qplus.WF2QPlusScheduler`.
+"""
+
+from repro.core.wf2qplus import WF2QPlusScheduler
+
+__all__ = ["NoEligibilityWF2QPlus", "NoFloorWF2QPlus"]
+
+
+class NoEligibilityWF2QPlus(WF2QPlusScheduler):
+    """WF2Q+ virtual time, SFF selection (ablates the eligibility test)."""
+
+    name = "WF2Q+[no-SEFF]"
+
+    def _select_flow(self, now):
+        self._advance_virtual(now)
+        self._promote_eligible()
+        # Smallest finish tag across *both* heaps: O(N) scan over the
+        # ineligible side (fine for an ablation; a production SFF scheduler
+        # would keep a finish-keyed heap instead).
+        best = None
+        if self._eligible:
+            flow_id = self._eligible.peek_item()
+            state = self._flows[flow_id]
+            best = (state.finish_tag, state.index, state)
+        for flow_id in self._ineligible:
+            state = self._flows[flow_id]
+            key = (state.finish_tag, state.index, state)
+            if best is None or key[:2] < best[:2]:
+                best = key
+        return best[2]
+
+
+class NoFloorWF2QPlus(WF2QPlusScheduler):
+    """SEFF selection, slope-1-only virtual time (ablates the min-S arm)."""
+
+    name = "WF2Q+[no-floor]"
+
+    def _advance_virtual(self, now, floor=True):
+        super()._advance_virtual(now, floor=False)
+
+    def _select_flow(self, now):
+        self._advance_virtual(now)
+        self._promote_eligible()
+        if self._eligible:
+            return self._flows[self._eligible.peek_item()]
+        # Without the floor nothing may be eligible; stay work-conserving
+        # by serving the earliest start tag.
+        flow_id = self._ineligible.peek_item()
+        return self._flows[flow_id]

@@ -1,0 +1,106 @@
+"""DRR — Deficit Round Robin (Shreedhar & Varghese, SIGCOMM '95).
+
+DRR visits backlogged flows round-robin; each visit adds a per-flow
+*quantum* (proportional to its share) to a deficit counter and transmits
+head packets while the counter covers them.  O(1) per packet provided every
+quantum is at least one maximum packet — but its delay bound and WFI are
+frame-sized (O(sum of quanta)), i.e. large.  The paper's related-work section
+cites DRR as a low-complexity scheme that "does not address worst-case
+fairness"; we include it so the WFI benches can quantify that.
+
+The quantum of flow i is ``quantum_scale * share_i``; ``quantum_scale``
+defaults so that the smallest-share flow gets one ``mtu`` per round.
+"""
+
+from collections import deque
+
+from repro.core.scheduler import PacketScheduler
+from repro.errors import ConfigurationError
+
+__all__ = ["DRRScheduler"]
+
+
+class DRRScheduler(PacketScheduler):
+    """Deficit Round Robin over weighted flows.
+
+    Parameters
+    ----------
+    rate:
+        Link rate (bps); used only for timing the output, not for selection.
+    mtu:
+        Maximum packet length in bits; the smallest-share flow receives one
+        MTU of quantum per round.  Packets longer than their flow's quantum
+        are still served (the deficit accumulates over rounds).
+    """
+
+    name = "DRR"
+
+    def __init__(self, rate, mtu=12_000):
+        super().__init__(rate)
+        if mtu <= 0:
+            raise ConfigurationError(f"mtu must be positive, got {mtu!r}")
+        self.mtu = mtu
+        self._active = deque()     # round-robin list of backlogged flow ids
+        self._in_round = set()
+        self._deficit = {}
+        self._current = None       # flow id being drained this visit
+        self._min_share = None     # cached so selection stays O(1)
+
+    def _quantum(self, state):
+        return self.mtu * state.share / self._min_share
+
+    def _on_flow_added(self, state):
+        self._deficit[state.flow_id] = 0
+        if self._min_share is None or state.share < self._min_share:
+            self._min_share = state.share
+
+    def _on_flow_removed(self, state):
+        del self._deficit[state.flow_id]
+        if self._flows:
+            others = (st.share for st in self._flows.values()
+                      if st.flow_id != state.flow_id)
+            self._min_share = min(others, default=None)
+        else:
+            self._min_share = None
+
+    def _on_enqueue(self, state, packet, now, was_flow_empty, was_idle):
+        if state.flow_id not in self._in_round:
+            self._active.append(state.flow_id)
+            self._in_round.add(state.flow_id)
+
+    def _select_flow(self, now):
+        # Continue draining the current flow if its deficit still covers the
+        # head packet; otherwise rotate.
+        while True:
+            if self._current is not None:
+                state = self._flows[self._current]
+                head = state.head()
+                if head is not None and self._deficit[self._current] >= head.length:
+                    return state
+                # Visit over: empty flows forfeit their deficit.
+                if head is None:
+                    self._deficit[self._current] = 0
+                    self._in_round.discard(self._current)
+                else:
+                    self._active.append(self._current)
+                self._current = None
+            flow_id = self._active.popleft()
+            state = self._flows[flow_id]
+            if not state.queue:
+                # Stale entry (flow drained outside a visit).
+                self._deficit[flow_id] = 0
+                self._in_round.discard(flow_id)
+                continue
+            self._current = flow_id
+            self._deficit[flow_id] += self._quantum(state)
+
+    def _on_dequeued(self, state, packet, now):
+        self._deficit[state.flow_id] -= packet.length
+        if not state.queue:
+            self._deficit[state.flow_id] = 0
+            self._in_round.discard(state.flow_id)
+            self._current = None
+
+    def deficit_of(self, flow_id):
+        """Current deficit counter (bits) of a flow, for tests."""
+        return self._deficit[flow_id]

@@ -1,0 +1,118 @@
+"""FFQ — Frame-based Fair Queueing (Stilliadis & Verma, 1995; cited by the
+paper as reference [18]).
+
+FFQ is a *rate-proportional server*: a system potential ``P`` advances at
+slope 1 in real time during busy periods (like WF2Q+'s virtual time), but
+instead of tracking the exact minimum start tag it is recalibrated only at
+**frame boundaries** — multiples of a fixed frame of potential ``T``.  When
+every backlogged flow's head start potential has moved past the current
+frame, the server jumps ``P`` to the frame boundary and opens the next
+frame.  That keeps the potential-update O(1) while bounding how far ``P``
+can lag the session tags (by one frame), which is what gives FFQ its delay
+bound.
+
+Tags are per-flow like the other self-clocked schedulers::
+
+    S_i = max(F_i, P)  on becoming backlogged;  S_i = F_i otherwise
+    F_i = S_i + L / r_i
+
+and service is SFF (smallest finish potential first — no eligibility test),
+so FFQ inherits the large WFI of all SFF schedulers: the paper lists it in
+the related work as low-complexity but *not* worst-case fair.
+
+The frame ``T`` must be at least ``max_i (L_i,max / r_i)`` so every packet's
+tag span fits in a frame; the constructor takes an ``mtu`` and derives the
+minimal valid frame from the registered shares (recomputed as flows are
+added while idle).
+"""
+
+from repro.core.scheduler import PacketScheduler, ScheduledPacket
+from repro.dstruct.heap import IndexedHeap
+from repro.errors import ConfigurationError
+
+__all__ = ["FFQScheduler"]
+
+
+class FFQScheduler(PacketScheduler):
+    """Frame-based Fair Queueing with automatic minimal frame sizing."""
+
+    name = "FFQ"
+
+    def __init__(self, rate, mtu=12_000):
+        super().__init__(rate)
+        if mtu <= 0:
+            raise ConfigurationError(f"mtu must be positive, got {mtu!r}")
+        self.mtu = mtu
+        self._potential = 0
+        self._stamp = 0            # real time of the last potential update
+        self._frame_end = None     # potential value where the frame closes
+        self._heads = IndexedHeap()    # backlogged flows keyed by finish tag
+        self._starts = IndexedHeap()   # backlogged flows keyed by start tag
+
+    # ------------------------------------------------------------------
+    # Frame machinery
+    # ------------------------------------------------------------------
+    def frame_size(self):
+        """T = mtu / min guaranteed rate: one max packet of the slowest flow."""
+        min_rate = min(
+            self.guaranteed_rate(fid) for fid in self._flows
+        )
+        return self.mtu / min_rate
+
+    def _advance_potential(self, now):
+        self._potential += now - self._stamp
+        self._stamp = now
+        if self._frame_end is None:
+            self._frame_end = self.frame_size()
+        # Frame recalibration: once every backlogged head has started past
+        # the current frame, jump the potential to the boundary and open
+        # the next frame.  (O(1) amortised; the drift is at most a frame.)
+        while self._starts and self._starts.min_key() >= self._frame_end:
+            if self._potential < self._frame_end:
+                self._potential = self._frame_end
+            self._frame_end += self.frame_size()
+
+    # ------------------------------------------------------------------
+    # Tag bookkeeping
+    # ------------------------------------------------------------------
+    def _set_head_tags(self, state, was_flow_empty):
+        head = state.head()
+        if was_flow_empty:
+            state.start_tag = max(state.finish_tag, self._potential)
+        else:
+            state.start_tag = state.finish_tag
+        state.finish_tag = state.start_tag + head.length / self.guaranteed_rate(state.flow_id)
+        self._heads.push_or_update(
+            state.flow_id, (state.finish_tag, state.index))
+        self._starts.push_or_update(state.flow_id, state.start_tag)
+
+    def _on_enqueue(self, state, packet, now, was_flow_empty, was_idle):
+        if was_idle and now >= self._free_at:
+            self._potential = 0
+            self._stamp = now
+            self._frame_end = None
+            for st in self._flows.values():
+                st.start_tag = 0
+                st.finish_tag = 0
+        if was_flow_empty:
+            self._advance_potential(now)
+            self._set_head_tags(state, True)
+
+    def _select_flow(self, now):
+        self._advance_potential(now)
+        return self._flows[self._heads.peek_item()]
+
+    def _on_dequeued(self, state, packet, now):
+        self._heads.remove(state.flow_id)
+        self._starts.remove(state.flow_id)
+        if state.queue:
+            self._set_head_tags(state, False)
+
+    def _make_record(self, state, packet, now, finish):
+        return ScheduledPacket(packet, now, finish,
+                               virtual_start=state.start_tag,
+                               virtual_finish=state.finish_tag)
+
+    def potential(self):
+        """Current system potential (for tests)."""
+        return self._potential

@@ -1,0 +1,284 @@
+"""Exact event-driven simulation of the fluid GPS server.
+
+Generalized Processor Sharing (Section 2.1 of the paper) serves every
+backlogged session simultaneously in proportion to its share.  This module
+tracks the fluid system *exactly*:
+
+* the virtual time ``V_GPS`` of eqs. (4)-(5), a piecewise-linear function of
+  real time with slope ``1 / sum(phi_i, i backlogged)`` (shares normalised so
+  they sum to one across registered flows);
+* per-packet virtual start/finish tags per eqs. (6)-(7):
+  ``S = max(F_prev, V(a))``, ``F = S + L / r_i``;
+* the *real* GPS finish time of every packet (virtual tags inverted through
+  the piecewise-linear V), which is what Figure 2's GPS timeline shows;
+* exact cumulative fluid service ``W_i(0, t)`` per session.
+
+WFQ selects "Smallest virtual Finish time First" (SFF) over these tags;
+WF2Q additionally requires eligibility ``S <= V(now)`` (SEFF).  Both embed a
+:class:`GPSFluidSystem` fed with their own arrival stream — which is exactly
+why their worst-case complexity is O(N) (Section 3.4): a single ``advance``
+may process O(N) session-empty events.
+
+The implementation is numeric-type-agnostic: run it on
+:class:`fractions.Fraction` inputs for bit-exact verification.
+"""
+
+import heapq
+import itertools
+
+from repro.errors import (
+    ConfigurationError,
+    DuplicateFlowError,
+    UnknownFlowError,
+)
+
+__all__ = ["GPSFluidSystem", "GPSPacket"]
+
+
+class GPSPacket:
+    """A packet as seen by the fluid system, with its virtual tags."""
+
+    __slots__ = ("flow_id", "length", "arrival_time", "virtual_start",
+                 "virtual_finish", "finish_time", "uid")
+
+    def __init__(self, uid, flow_id, length, arrival_time, virtual_start, virtual_finish):
+        self.uid = uid
+        self.flow_id = flow_id
+        self.length = length
+        self.arrival_time = arrival_time
+        self.virtual_start = virtual_start
+        self.virtual_finish = virtual_finish
+        #: Real time the packet's last bit leaves the fluid server
+        #: (filled in once the simulation reaches that instant).
+        self.finish_time = None
+
+    def __repr__(self):
+        return (
+            f"GPSPacket(flow={self.flow_id!r}, len={self.length!r}, "
+            f"S={self.virtual_start!r}, F={self.virtual_finish!r}, "
+            f"d={self.finish_time!r})"
+        )
+
+
+class _GPSFlow:
+    __slots__ = ("flow_id", "share", "last_finish_tag", "final_finish_tag",
+                 "queued", "backlogged", "service_acc", "v_enter")
+
+    def __init__(self, flow_id, share):
+        self.flow_id = flow_id
+        self.share = share
+        self.last_finish_tag = 0   # F of the most recently arrived packet
+        self.final_finish_tag = 0  # F of the last packet still in the system
+        self.queued = 0            # packets not yet fully served
+        self.backlogged = False
+        self.service_acc = 0       # bits served in completed backlog periods
+        self.v_enter = 0           # V when the current backlog period began
+
+
+class GPSFluidSystem:
+    """Fluid GPS server over a set of weighted flows.
+
+    Time inputs (``arrive``, ``advance``, queries) must be non-decreasing.
+    Flows must be registered while the system is idle.
+    """
+
+    def __init__(self, rate):
+        if rate <= 0:
+            raise ConfigurationError(f"rate must be positive, got {rate!r}")
+        self.rate = rate
+        self._flows = {}
+        self._total_share = 0
+        self._time = 0          # real time the fluid state is valid for
+        self._virtual = 0       # V_GPS at self._time
+        self._sum_phi = 0       # sum of *normalised* shares of backlogged flows
+        self._backlogged = set()
+        # (final_finish_tag, seq, flow_id): lazy session-empty events.
+        self._empty_events = []
+        # (virtual_finish, seq, GPSPacket): pending packet departures.
+        self._pending = []
+        self._departed = []
+        self._seq = itertools.count()
+        self._uids = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Registration / introspection
+    # ------------------------------------------------------------------
+    def add_flow(self, flow_id, share):
+        if share <= 0:
+            raise ConfigurationError(
+                f"flow {flow_id!r}: share must be positive, got {share!r}"
+            )
+        if flow_id in self._flows:
+            raise DuplicateFlowError(flow_id)
+        if self._backlogged:
+            raise ConfigurationError(
+                "flows must be registered while the GPS system is idle"
+            )
+        self._flows[flow_id] = _GPSFlow(flow_id, share)
+        self._total_share += share
+
+    def _flow(self, flow_id):
+        try:
+            return self._flows[flow_id]
+        except KeyError:
+            raise UnknownFlowError(flow_id) from None
+
+    def _phi(self, flow):
+        """Normalised share (the paper's phi_i, summing to 1)."""
+        return flow.share / self._total_share
+
+    def guaranteed_rate(self, flow_id):
+        """r_i = phi_i * r."""
+        return self._phi(self._flow(flow_id)) * self.rate
+
+    @property
+    def is_idle(self):
+        return not self._backlogged
+
+    @property
+    def time(self):
+        return self._time
+
+    def backlogged_flows(self):
+        return set(self._backlogged)
+
+    # ------------------------------------------------------------------
+    # Core event processing
+    # ------------------------------------------------------------------
+    def advance(self, now):
+        """Run the fluid system forward to real time ``now``."""
+        if now < self._time:
+            raise ValueError(
+                f"time moved backwards: {now!r} < {self._time!r}"
+            )
+        while self._backlogged:
+            event = self._next_empty_event()
+            if event is None:
+                # No session-empty pending (shouldn't happen while
+                # backlogged), treat as pure advance.
+                break
+            tag, flow = event
+            # Real duration until V reaches `tag` at slope 1/sum_phi.
+            dt = (tag - self._virtual) * self._sum_phi
+            t_reach = self._time + dt
+            if t_reach <= now:
+                self._emit_departures(tag, self._virtual, self._time)
+                self._time = t_reach
+                self._virtual = tag
+                self._leave_backlog(flow)
+                heapq.heappop(self._empty_events)
+            else:
+                break
+        if self._backlogged and now > self._time:
+            v_new = self._virtual + (now - self._time) / self._sum_phi
+            self._emit_departures(v_new, self._virtual, self._time)
+            self._virtual = v_new
+        self._time = max(self._time, now)
+
+    def _next_empty_event(self):
+        """Peek the next valid session-empty event (lazy invalidation)."""
+        while self._empty_events:
+            tag, _seq, flow_id = self._empty_events[0]
+            flow = self._flows[flow_id]
+            if flow.backlogged and tag == flow.final_finish_tag:
+                return tag, flow
+            heapq.heappop(self._empty_events)
+        return None
+
+    def _emit_departures(self, v_new, v_old, t_old):
+        """Emit real finish times for packets whose F falls in (v_old, v_new]."""
+        while self._pending and self._pending[0][0] <= v_new:
+            tag, _seq, pkt = heapq.heappop(self._pending)
+            pkt.finish_time = t_old + (tag - v_old) * self._sum_phi
+            flow = self._flows[pkt.flow_id]
+            flow.queued -= 1
+            self._departed.append(pkt)
+
+    def _leave_backlog(self, flow):
+        flow.backlogged = False
+        flow.service_acc += self._phi(flow) * self.rate * (self._virtual - flow.v_enter)
+        self._backlogged.discard(flow.flow_id)
+        self._sum_phi -= self._phi(flow)
+        if not self._backlogged:
+            self._sum_phi = 0  # kill numeric residue
+
+    # ------------------------------------------------------------------
+    # Arrivals and queries
+    # ------------------------------------------------------------------
+    def arrive(self, flow_id, length, now):
+        """A ``length``-bit packet of ``flow_id`` arrives at ``now``.
+
+        Returns the :class:`GPSPacket` carrying the virtual tags.
+        """
+        if length <= 0:
+            raise ValueError(f"length must be positive, got {length!r}")
+        flow = self._flow(flow_id)
+        self.advance(now)
+        if not self._backlogged:
+            # New system busy period: eqs. (4)-(5) restart V at zero, and
+            # every flow's stale finish tag (all served) is irrelevant.
+            self._virtual = 0
+            for f in self._flows.values():
+                f.last_finish_tag = 0
+        start = max(flow.last_finish_tag, self._virtual)
+        finish = start + length / (self._phi(flow) * self.rate)
+        pkt = GPSPacket(next(self._uids), flow_id, length, now, start, finish)
+        flow.last_finish_tag = finish
+        flow.final_finish_tag = finish
+        flow.queued += 1
+        seq = next(self._seq)
+        heapq.heappush(self._pending, (finish, seq, pkt))
+        heapq.heappush(self._empty_events, (finish, seq, flow_id))
+        if not flow.backlogged:
+            flow.backlogged = True
+            flow.v_enter = self._virtual
+            self._backlogged.add(flow_id)
+            self._sum_phi += self._phi(flow)
+        return pkt
+
+    def virtual_time(self, now=None):
+        """V_GPS at time ``now`` (advances the system)."""
+        if now is not None:
+            self.advance(now)
+        return self._virtual
+
+    def service_received(self, flow_id, now=None):
+        """Cumulative fluid service W_i(0, now) in bits."""
+        if now is not None:
+            self.advance(now)
+        flow = self._flow(flow_id)
+        total = flow.service_acc
+        if flow.backlogged:
+            total += self._phi(flow) * self.rate * (self._virtual - flow.v_enter)
+        return total
+
+    def is_backlogged(self, flow_id, now=None):
+        if now is not None:
+            self.advance(now)
+        return self._flow(flow_id).backlogged
+
+    def pop_departures(self):
+        """Return and clear the packets that finished since the last call.
+
+        Packets are ordered by (finish_time, arrival order).
+        """
+        out = self._departed
+        self._departed = []
+        return out
+
+    def finish_order(self, until=None):
+        """Convenience: advance to ``until`` (or drain fully if None) and
+        return all departures so far."""
+        if until is None:
+            # Advance until the system drains: the last session-empty event
+            # determines the horizon.
+            while self._backlogged:
+                event = self._next_empty_event()
+                if event is None:
+                    break
+                tag, _flow = event
+                horizon = self._time + (tag - self._virtual) * self._sum_phi
+                self.advance(horizon)
+        else:
+            self.advance(until)
+        return self.pop_departures()

@@ -1,0 +1,235 @@
+"""Exact event-driven simulation of the fluid H-GPS server (Section 2.2).
+
+H-GPS distributes the link's capacity down the hierarchy: each backlogged
+node receives service from its parent in proportion to its share *among the
+backlogged siblings*, recursively, until the service reaches leaf queues.
+A non-leaf node is backlogged iff some leaf descendant is backlogged
+(eq. 8).  H-GPS has B-WFI = 0 — a packet arriving at an empty queue starts
+receiving its guaranteed rate immediately — which is the gold standard the
+packet H-PFQ servers are measured against.
+
+Two tools live here:
+
+* :class:`HGPSFluidSystem` — a true fluid simulation (arrivals add fluid to
+  leaf queues; between events each backlogged leaf drains at its
+  hierarchical fair rate).  Used for ideal service curves and as ground
+  truth in tests.
+* :func:`hierarchical_fair_rates` — the static allocation: given which
+  leaves are greedy (always backlogged) and optional finite demands, compute
+  each leaf's H-GPS rate by hierarchical waterfilling.  This generates the
+  "ideal H-GPS bandwidth" curves of Figure 9(b), where the active set only
+  changes at on/off source transitions.
+"""
+
+from repro.errors import HierarchyError, UnknownFlowError
+
+__all__ = ["HGPSFluidSystem", "hierarchical_fair_rates"]
+
+
+def hierarchical_fair_rates(spec, active_leaves, link_rate, demands=None):
+    """Static H-GPS allocation by hierarchical waterfilling.
+
+    Parameters
+    ----------
+    spec:
+        A :class:`~repro.config.hierarchy_spec.HierarchySpec`.
+    active_leaves:
+        Iterable of leaf names that currently want bandwidth.
+    link_rate:
+        Capacity of the root link (bps).
+    demands:
+        Optional mapping ``leaf name -> maximum rate it can use``; leaves
+        absent from the mapping are greedy (unbounded demand).  A leaf whose
+        demand is below its fair share is capped at its demand and the
+        excess is redistributed *within the hierarchy* (closest subtrees
+        first), exactly as H-GPS does.
+
+    Returns a dict ``leaf name -> rate`` (inactive leaves get 0).
+    """
+    active = set(active_leaves)
+    for name in active:
+        if name not in spec or not spec.is_leaf(name):
+            raise HierarchyError(f"not a leaf: {name!r}")
+    demands = dict(demands or {})
+    rates = {name: 0 for name in spec.leaf_names()}
+
+    def subtree_active(node):
+        if node.is_leaf:
+            return node.name in active
+        return any(subtree_active(c) for c in node.children)
+
+    def subtree_demand(node):
+        """Total demand of active leaves below ``node`` (None = unbounded)."""
+        if node.is_leaf:
+            if node.name not in active:
+                return 0
+            return demands.get(node.name)  # None means greedy
+        total = 0
+        for child in node.children:
+            d = subtree_demand(child)
+            if d is None:
+                return None
+            total += d
+        return total
+
+    def allocate(node, capacity):
+        if node.is_leaf:
+            rates[node.name] = capacity
+            return
+        children = [c for c in node.children if subtree_active(c)]
+        if not children:
+            return
+        # Waterfill among the active children: capped children keep their
+        # demand, the rest split the remainder by share.
+        remaining = capacity
+        uncapped = list(children)
+        allocation = {}
+        while True:
+            total_share = sum(c.share for c in uncapped)
+            newly_capped = []
+            for child in uncapped:
+                fair = remaining * child.share / total_share
+                demand = subtree_demand(child)
+                if demand is not None and demand < fair:
+                    allocation[child.name] = demand
+                    newly_capped.append(child)
+            if not newly_capped:
+                for child in uncapped:
+                    allocation[child.name] = remaining * child.share / total_share
+                break
+            for child in newly_capped:
+                uncapped.remove(child)
+                remaining -= allocation[child.name]
+            if not uncapped:
+                break
+        for child in children:
+            allocate(child, allocation.get(child.name, 0))
+
+    if subtree_active(spec.root):
+        allocate(spec.root, link_rate)
+    return rates
+
+
+class _FluidLeaf:
+    __slots__ = ("name", "backlog", "service", "rate")
+
+    def __init__(self, name):
+        self.name = name
+        self.backlog = 0   # bits of fluid queued
+        self.service = 0   # cumulative bits served
+        self.rate = 0      # current drain rate (recomputed at events)
+
+
+class HGPSFluidSystem:
+    """Fluid hierarchical GPS over a :class:`HierarchySpec`.
+
+    ``arrive`` adds fluid to a leaf queue; ``advance`` runs the fluid
+    dynamics forward.  Time inputs must be non-decreasing.
+    """
+
+    def __init__(self, spec, rate):
+        if rate <= 0:
+            raise HierarchyError(f"rate must be positive, got {rate!r}")
+        self.spec = spec
+        self.rate = rate
+        self._leaves = {name: _FluidLeaf(name) for name in spec.leaf_names()}
+        self._time = 0
+
+    def _leaf(self, name):
+        try:
+            return self._leaves[name]
+        except KeyError:
+            raise UnknownFlowError(name) from None
+
+    @property
+    def time(self):
+        return self._time
+
+    @property
+    def is_idle(self):
+        return all(leaf.backlog == 0 for leaf in self._leaves.values())
+
+    def backlog_of(self, name):
+        return self._leaf(name).backlog
+
+    # ------------------------------------------------------------------
+    # Fluid dynamics
+    # ------------------------------------------------------------------
+    def _recompute_rates(self):
+        """Set each leaf's drain rate by hierarchical share splitting."""
+        for leaf in self._leaves.values():
+            leaf.rate = 0
+
+        def backlogged(node):
+            if node.is_leaf:
+                return self._leaves[node.name].backlog > 0
+            return any(backlogged(c) for c in node.children)
+
+        def distribute(node, capacity):
+            if node.is_leaf:
+                self._leaves[node.name].rate = capacity
+                return
+            children = [c for c in node.children if backlogged(c)]
+            total = sum(c.share for c in children)
+            for child in children:
+                distribute(child, capacity * child.share / total)
+
+        if backlogged(self.spec.root):
+            distribute(self.spec.root, self.rate)
+
+    def advance(self, now):
+        """Run the fluid system forward to time ``now``."""
+        if now < self._time:
+            raise ValueError(f"time moved backwards: {now!r} < {self._time!r}")
+        while self._time < now:
+            self._recompute_rates()
+            draining = [lf for lf in self._leaves.values() if lf.rate > 0]
+            if not draining:
+                self._time = now
+                return
+            # Next leaf-empty event.
+            dt_empty = min(lf.backlog / lf.rate for lf in draining)
+            dt = min(dt_empty, now - self._time)
+            for lf in draining:
+                served = lf.rate * dt
+                lf.service += served
+                lf.backlog -= served
+                if lf.backlog < 0:
+                    lf.backlog = 0  # numeric residue
+            self._time = self._time + dt
+            # Clamp leaves that emptied within numerical noise of the event.
+            if dt == dt_empty:
+                for lf in draining:
+                    if lf.backlog > 0 and lf.backlog / lf.rate < 1e-15:
+                        lf.backlog = 0
+
+    def arrive(self, name, bits, now):
+        """Add ``bits`` of fluid to leaf ``name`` at time ``now``."""
+        if bits <= 0:
+            raise ValueError(f"bits must be positive, got {bits!r}")
+        leaf = self._leaf(name)
+        self.advance(now)
+        leaf.backlog += bits
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def service_received(self, name, now=None):
+        """Cumulative fluid service W_i(0, now) in bits."""
+        if now is not None:
+            self.advance(now)
+        return self._leaf(name).service
+
+    def current_rates(self):
+        """Instantaneous drain rate of every leaf (after last advance)."""
+        self._recompute_rates()
+        return {name: lf.rate for name, lf in self._leaves.items()}
+
+    def drain(self):
+        """Advance until every queue is empty; returns the drain time."""
+        while not self.is_idle:
+            self._recompute_rates()
+            draining = [lf for lf in self._leaves.values() if lf.rate > 0]
+            dt = min(lf.backlog / lf.rate for lf in draining)
+            self.advance(self._time + dt)
+        return self._time

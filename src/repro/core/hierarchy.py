@@ -1,0 +1,569 @@
+"""H-PFQ: hierarchical packet fair queueing from one-level PFQ building
+blocks (Section 4 of the paper).
+
+The scheduler is a tree (:class:`~repro.config.hierarchy_spec.HierarchySpec`)
+whose root is the physical link, interior nodes are link-sharing classes and
+leaves hold the physical packet queues.  Every non-root node ``n`` is
+connected to its parent by a *logical queue* that stores only a reference to
+the packet at its head (``Q_n`` in the paper); the physical packet stays in
+its leaf queue until the link finishes transmitting it.
+
+The three operations follow the paper's pseudocode:
+
+* ``ARRIVE``     (our :meth:`HPFQScheduler._arrive`): a packet reaching an
+  empty leaf becomes the leaf's logical head, gets tags
+  ``s = max(f, V_parent)``, ``f = s + L / r_leaf``, and restarts the parent
+  if it is idle.
+* ``RESTART-NODE`` (:meth:`HPFQScheduler._restart`): a node picks the next
+  child by its policy (SEFF for WF2Q+ nodes, SFF for WFQ/SCFQ nodes),
+  adopts the child's head packet, updates its own tags
+  (``s = f`` while busy, ``s = max(f, V_parent)`` from idle), advances its
+  virtual time, and propagates upward while the parent has no selection.
+* ``RESET-PATH`` (:meth:`HPFQScheduler._reset_path`): when the link finishes
+  a packet, the active path is cleared top-down; at the leaf the next packet
+  (if any) becomes head with ``s = f``, and the leaf's parent is restarted,
+  which re-selects bottom-up through the cleared path.
+
+Reference time (Section 4.1): node ``n``'s clock is
+``T_n = W_n(0, t) / r_n``, advanced by ``L / r_n`` each time the node selects
+a packet of length L.  Consequently the whole hierarchy is *event-driven* —
+no wall-clock input is needed beyond busy-period boundaries.
+
+Per-node policies
+-----------------
+:class:`WF2QPlusNodePolicy` implements lines 1 and 12 of ``RESTART-NODE``:
+eligibility ``s_m <= max(V_n, Smin_n)`` with smallest-finish selection, and
+``V_n <- max(V_n, Smin_n) + L/r_n``.  :class:`WFQNodePolicy`,
+:class:`SCFQNodePolicy` and :class:`SFQNodePolicy` provide the baselines the
+paper compares against (H-WFQ's large-WFI nodes are what causes its delay
+spikes in Figures 4-7).
+"""
+
+from collections import deque
+
+from repro.config.hierarchy_spec import HierarchySpec, NodeSpec
+from repro.core.scheduler import PacketScheduler, ScheduledPacket
+from repro.dstruct.heap import IndexedHeap
+from repro.errors import ConfigurationError, HierarchyError
+
+__all__ = [
+    "HPFQScheduler",
+    "NodeSpec",
+    "NodePolicy",
+    "WF2QPlusNodePolicy",
+    "WFQNodePolicy",
+    "SCFQNodePolicy",
+    "SFQNodePolicy",
+    "POLICIES",
+    "make_hwf2qplus",
+    "make_hwfq",
+    "make_hscfq",
+    "make_hsfq",
+]
+
+
+class _HNode:
+    """Runtime state of one tree node (leaf or interior)."""
+
+    __slots__ = (
+        "name", "share", "rate", "parent", "children", "is_leaf",
+        "child_index",
+        # child-role state: the logical queue to the parent
+        "head", "start_tag", "finish_tag",
+        # server-role state
+        "policy", "virtual", "reference", "busy", "active_child",
+        # leaf-role state (the physical queue lives in FlowState)
+        "flow_state",
+    )
+
+    def __init__(self, name, share, rate, parent, is_leaf):
+        self.name = name
+        self.share = share
+        self.rate = rate
+        self.parent = parent
+        self.children = []
+        self.child_index = 0
+        self.is_leaf = is_leaf
+        self.head = None
+        self.start_tag = 0
+        self.finish_tag = 0
+        self.policy = None
+        self.virtual = 0
+        self.reference = 0
+        self.busy = False
+        self.active_child = None
+        self.flow_state = None
+
+    def __repr__(self):  # pragma: no cover - debug aid
+        return f"_HNode({self.name!r}, r={self.rate!r}, busy={self.busy})"
+
+
+# ----------------------------------------------------------------------
+# Per-node policies
+# ----------------------------------------------------------------------
+class NodePolicy:
+    """Selection + virtual-time policy of one interior node.
+
+    The framework notifies the policy whenever a child's logical-queue head
+    is set (with fresh ``start_tag``/``finish_tag``) or cleared; ``select``
+    returns the child to serve next; ``on_select`` advances the node's
+    virtual time for the chosen packet.
+    """
+
+    name = "abstract"
+
+    def __init__(self, node):
+        self.node = node
+
+    def child_head_set(self, child):
+        raise NotImplementedError
+
+    def child_head_cleared(self, child):
+        raise NotImplementedError
+
+    def select(self):
+        """Return the child whose head packet is served next (or None)."""
+        raise NotImplementedError
+
+    def on_select(self, child, length):
+        """Update node virtual/reference time for a selected packet."""
+        raise NotImplementedError
+
+    def reset(self):
+        """Forget everything (system busy period ended)."""
+        raise NotImplementedError
+
+
+class WF2QPlusNodePolicy(NodePolicy):
+    """SEFF with the hierarchical WF2Q+ virtual time (pseudocode line 12)."""
+
+    name = "wf2qplus"
+
+    def __init__(self, node):
+        super().__init__(node)
+        self._starts = IndexedHeap()      # all headed children, key = start tag
+        self._eligible = IndexedHeap()    # key = finish tag
+        self._ineligible = IndexedHeap()  # key = start tag
+
+    def child_head_set(self, child):
+        self._starts.push_or_update(child, child.start_tag)
+        if child.start_tag <= self.node.virtual:
+            self._ineligible.discard(child)
+            self._eligible.push_or_update(
+                child, (child.finish_tag, child.child_index)
+            )
+        else:
+            self._eligible.discard(child)
+            self._ineligible.push_or_update(
+                child, (child.start_tag, child.child_index)
+            )
+
+    def child_head_cleared(self, child):
+        self._starts.discard(child)
+        self._eligible.discard(child)
+        self._ineligible.discard(child)
+
+    def select(self):
+        if not self._starts:
+            return None
+        # E_n: children with s_m <= max(V_n, Smin_n).  The max with Smin
+        # guarantees at least one eligible child (work conservation).
+        threshold = max(self.node.virtual, self._starts.min_key())
+        while self._ineligible and self._ineligible.min_key()[0] <= threshold:
+            child, _key = self._ineligible.pop()
+            self._eligible.push(child, (child.finish_tag, child.child_index))
+        return self._eligible.peek_item()
+
+    def on_select(self, child, length):
+        node = self.node
+        smin = self._starts.min_key()  # selected child is still headed
+        node.virtual = max(node.virtual, smin) + length / node.rate
+        node.reference += length / node.rate
+
+    def reset(self):
+        self._starts.clear()
+        self._eligible.clear()
+        self._ineligible.clear()
+
+
+class WFQNodePolicy(NodePolicy):
+    """SFF with the practical packet-backlog GPS virtual time.
+
+    V advances at slope ``1 / sum(phi of headed children)`` with respect to
+    the node's reference time — the classic implementable approximation of
+    V_GPS (the exact fluid V is unavailable inside a hierarchy; Section 2.2).
+    No eligibility test: this is what gives H-WFQ its O(N)-packet WFI and
+    the delay spikes of Figures 4-7.
+    """
+
+    name = "wfq"
+
+    def __init__(self, node):
+        super().__init__(node)
+        self._finishes = IndexedHeap()  # headed children, key = finish tag
+        total = sum(c.share for c in node.children)
+        self._phi = {c: c.share / total for c in node.children}
+        self._active_phi = 0
+
+    def child_head_set(self, child):
+        if child not in self._finishes:
+            self._active_phi += self._phi[child]
+        self._finishes.push_or_update(
+            child, (child.finish_tag, child.child_index)
+        )
+
+    def child_head_cleared(self, child):
+        if self._finishes.discard(child):
+            self._active_phi -= self._phi[child]
+            if not self._finishes:
+                self._active_phi = 0  # kill numeric residue
+
+    def select(self):
+        if not self._finishes:
+            return None
+        return self._finishes.peek_item()
+
+    def on_select(self, child, length):
+        node = self.node
+        dt = length / node.rate
+        node.reference += dt
+        if self._active_phi > 0:
+            node.virtual += dt / self._active_phi
+
+    def reset(self):
+        self._finishes.clear()
+        self._active_phi = 0
+
+
+class SCFQNodePolicy(NodePolicy):
+    """SFF with the self-clocked virtual time (V = finish tag in service)."""
+
+    name = "scfq"
+
+    def __init__(self, node):
+        super().__init__(node)
+        self._finishes = IndexedHeap()
+
+    def child_head_set(self, child):
+        self._finishes.push_or_update(
+            child, (child.finish_tag, child.child_index)
+        )
+
+    def child_head_cleared(self, child):
+        self._finishes.discard(child)
+
+    def select(self):
+        if not self._finishes:
+            return None
+        return self._finishes.peek_item()
+
+    def on_select(self, child, length):
+        node = self.node
+        node.virtual = child.finish_tag
+        node.reference += length / node.rate
+
+    def reset(self):
+        self._finishes.clear()
+
+
+class SFQNodePolicy(NodePolicy):
+    """Smallest-start-tag-first with V = start tag in service."""
+
+    name = "sfq"
+
+    def __init__(self, node):
+        super().__init__(node)
+        self._starts = IndexedHeap()
+
+    def child_head_set(self, child):
+        self._starts.push_or_update(
+            child, (child.start_tag, child.child_index)
+        )
+
+    def child_head_cleared(self, child):
+        self._starts.discard(child)
+
+    def select(self):
+        if not self._starts:
+            return None
+        return self._starts.peek_item()
+
+    def on_select(self, child, length):
+        node = self.node
+        node.virtual = child.start_tag
+        node.reference += length / node.rate
+
+    def reset(self):
+        self._starts.clear()
+
+
+POLICIES = {
+    "wf2qplus": WF2QPlusNodePolicy,
+    "wfq": WFQNodePolicy,
+    "scfq": SCFQNodePolicy,
+    "sfq": SFQNodePolicy,
+}
+
+
+# ----------------------------------------------------------------------
+# The hierarchical scheduler
+# ----------------------------------------------------------------------
+class HPFQScheduler(PacketScheduler):
+    """H-PFQ server over a :class:`HierarchySpec`.
+
+    Parameters
+    ----------
+    spec:
+        The link-sharing tree.  Leaf names become the flow ids accepted by
+        :meth:`enqueue`.
+    rate:
+        Link rate in bits per second.
+    policy:
+        Name in :data:`POLICIES` (or a NodePolicy subclass) applied at every
+        interior node — ``"wf2qplus"`` builds H-WF2Q+, ``"wfq"`` H-WFQ, etc.
+    policy_overrides:
+        Optional mapping ``node name -> policy`` for mixed hierarchies.
+    """
+
+    def __init__(self, spec, rate, policy="wf2qplus", policy_overrides=None):
+        super().__init__(rate)
+        if not isinstance(spec, HierarchySpec):
+            spec = HierarchySpec(spec)
+        self.spec = spec
+        overrides = dict(policy_overrides or {})
+        self._nodes = {}
+        self._build(spec.root, None)
+        self._root = self._nodes[spec.root.name]
+        for node_obj in self._nodes.values():
+            if not node_obj.is_leaf:
+                chosen = overrides.pop(node_obj.name, policy)
+                node_obj.policy = self._resolve_policy(chosen)(node_obj)
+        if overrides:
+            raise HierarchyError(
+                f"policy overrides for unknown interior nodes: {sorted(overrides)}"
+            )
+        self.policy_name = self._resolve_policy(policy).name
+        self.name = f"H-PFQ[{self.policy_name}]"
+        # Leaves double as flows of the base scheduler.
+        for leaf_spec in spec.leaves:
+            state = None
+            config = self.add_flow(leaf_spec.name, leaf_spec.share)
+            state = self._flows[config.flow_id]
+            node_obj = self._nodes[leaf_spec.name]
+            node_obj.flow_state = state
+        #: The packet handed to the link by the previous dequeue; its
+        #: RESET-PATH runs when the transmission completes.
+        self._in_flight = None
+
+    @staticmethod
+    def _resolve_policy(policy):
+        if isinstance(policy, str):
+            try:
+                return POLICIES[policy]
+            except KeyError:
+                raise ConfigurationError(
+                    f"unknown node policy {policy!r}; choose from {sorted(POLICIES)}"
+                ) from None
+        if isinstance(policy, type) and issubclass(policy, NodePolicy):
+            return policy
+        raise ConfigurationError(f"not a node policy: {policy!r}")
+
+    def _build(self, spec_node, parent):
+        rate = self.spec.guaranteed_rate(spec_node.name, self.rate)
+        node_obj = _HNode(spec_node.name, spec_node.share, rate, parent,
+                          spec_node.is_leaf)
+        self._nodes[spec_node.name] = node_obj
+        if parent is not None:
+            node_obj.child_index = len(parent.children)
+            parent.children.append(node_obj)
+        for child in spec_node.children:
+            self._build(child, node_obj)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def node_virtual_time(self, name):
+        return self._nodes[name].virtual
+
+    def node_reference_time(self, name):
+        return self._nodes[name].reference
+
+    def node_service(self, name):
+        """W_n(0, t): bits selected for service through node ``name``."""
+        node_obj = self._nodes[name]
+        return node_obj.reference * node_obj.rate
+
+    def guaranteed_rate(self, flow_id):
+        """r_i of a node or leaf: its phi-fraction of the link rate."""
+        return self._nodes[flow_id].rate
+
+    # ------------------------------------------------------------------
+    # ARRIVE
+    # ------------------------------------------------------------------
+    def enqueue(self, packet, now=None):
+        # A transmission that ended strictly before this arrival must run
+        # its RESET-PATH first (and see the pre-arrival queue state), so the
+        # new packet is tagged under the correct busy/idle rule.
+        arrival = now
+        if arrival is None:
+            arrival = packet.arrival_time
+        if arrival is None:
+            arrival = self._clock
+        if self._in_flight is not None and arrival >= self._free_at:
+            self._complete_transmission()
+        return super().enqueue(packet, now=arrival)
+
+    def _on_enqueue(self, state, packet, now, was_flow_empty, was_idle):
+        leaf = self._nodes[packet.flow_id]
+        if leaf.head is not None:
+            return  # logical queue busy; the packet waits in the FIFO
+        parent = leaf.parent
+        leaf.head = packet
+        leaf.start_tag = max(leaf.finish_tag, parent.virtual)
+        leaf.finish_tag = leaf.start_tag + packet.length / leaf.rate
+        parent.policy.child_head_set(leaf)
+        if not parent.busy:
+            self._restart(parent)
+
+    # ------------------------------------------------------------------
+    # RESTART-NODE
+    # ------------------------------------------------------------------
+    def _restart(self, node):
+        child = node.policy.select()
+        parent = node.parent
+        if child is not None:
+            node.active_child = child
+            node.head = child.head
+            length = node.head.length
+            if parent is not None:
+                if node.busy:
+                    node.start_tag = node.finish_tag
+                else:
+                    node.start_tag = max(node.finish_tag, parent.virtual)
+                node.finish_tag = node.start_tag + length / node.rate
+            node.busy = True
+            node.policy.on_select(child, length)
+            if parent is not None:
+                parent.policy.child_head_set(node)
+                if parent.head is None:
+                    self._restart(parent)
+        else:
+            node.active_child = None
+            node.busy = False
+            if parent is not None:
+                parent.policy.child_head_cleared(node)
+                if parent.head is None:
+                    self._restart(parent)
+
+    # ------------------------------------------------------------------
+    # RESET-PATH
+    # ------------------------------------------------------------------
+    def _reset_path(self, node):
+        node.head = None
+        if node.is_leaf:
+            # The physical packet was already popped by the base dequeue.
+            queue = node.flow_state.queue
+            parent = node.parent
+            if queue:
+                head = queue[0]
+                node.head = head
+                node.start_tag = node.finish_tag
+                node.finish_tag = node.start_tag + head.length / node.rate
+                parent.policy.child_head_set(node)
+            else:
+                parent.policy.child_head_cleared(node)
+            self._restart(parent)
+        else:
+            child = node.active_child
+            node.active_child = None
+            self._reset_path(child)
+
+    def _complete_transmission(self):
+        """Run RESET-PATH for the packet returned by the previous dequeue."""
+        self._in_flight = None
+        self._reset_path(self._root)
+        if self._root.head is None:
+            if self._backlog_packets > 0:  # pragma: no cover - safety net
+                raise HierarchyError(
+                    "H-PFQ invariant violated: backlog but no selection after reset"
+                )
+            # The system drained: the busy period is over; zero all state so
+            # the next busy period starts fresh (V = T = tags = 0).
+            # Reference times are left alone: W_n(0, t) is cumulative.
+            self._full_reset()
+
+    def _full_reset(self):
+        for node_obj in self._nodes.values():
+            node_obj.head = None
+            node_obj.start_tag = 0
+            node_obj.finish_tag = 0
+            node_obj.virtual = 0
+            node_obj.busy = False
+            node_obj.active_child = None
+            if node_obj.policy is not None:
+                node_obj.policy.reset()
+
+    # ------------------------------------------------------------------
+    # Dequeue integration with the PacketScheduler template
+    # ------------------------------------------------------------------
+    def _select_flow(self, now):
+        if self._in_flight is not None:
+            self._complete_transmission()
+        head = self._root.head
+        if head is None:
+            raise HierarchyError(
+                "H-PFQ invariant violated: backlog exists but no selection"
+            )
+        return self._flows[head.flow_id]
+
+    def _on_dequeued(self, state, packet, now):
+        if packet is not self._root.head:  # pragma: no cover - safety net
+            raise HierarchyError(
+                "H-PFQ invariant violated: dequeued packet is not the root head"
+            )
+        # Leaves accrue reference time here (interior nodes accrue at
+        # selection inside their parent's on_select).
+        leaf = self._nodes[packet.flow_id]
+        leaf.reference += packet.length / leaf.rate
+        self._in_flight = packet
+
+    def _make_record(self, state, packet, now, finish):
+        leaf = self._nodes[packet.flow_id]
+        return ScheduledPacket(
+            packet, now, finish,
+            virtual_start=leaf.start_tag,
+            virtual_finish=leaf.finish_tag,
+        )
+
+    def _on_system_empty(self, now):
+        # The final RESET-PATH happens lazily (next enqueue/dequeue); the
+        # tree still references the in-flight packet until then, which is
+        # exactly the paper's model of a packet in transmission.
+        pass
+
+
+# ----------------------------------------------------------------------
+# Factories
+# ----------------------------------------------------------------------
+def make_hwf2qplus(spec, rate, policy_overrides=None):
+    """H-WF2Q+ — the paper's proposed hierarchical scheduler."""
+    return HPFQScheduler(spec, rate, policy="wf2qplus",
+                         policy_overrides=policy_overrides)
+
+
+def make_hwfq(spec, rate, policy_overrides=None):
+    """H-WFQ — the large-WFI baseline the paper argues against."""
+    return HPFQScheduler(spec, rate, policy="wfq",
+                         policy_overrides=policy_overrides)
+
+
+def make_hscfq(spec, rate, policy_overrides=None):
+    """H-SCFQ — hierarchical self-clocked fair queueing."""
+    return HPFQScheduler(spec, rate, policy="scfq",
+                         policy_overrides=policy_overrides)
+
+
+def make_hsfq(spec, rate, policy_overrides=None):
+    """H-SFQ — hierarchical start-time fair queueing."""
+    return HPFQScheduler(spec, rate, policy="sfq",
+                         policy_overrides=policy_overrides)

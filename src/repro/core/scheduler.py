@@ -1,0 +1,359 @@
+"""The common interface and shared machinery of all packet schedulers.
+
+Every one-level PFQ algorithm (and the hierarchical H-PFQ server) exposes the
+same small surface:
+
+* :meth:`PacketScheduler.add_flow` — register a session with a service share.
+* :meth:`PacketScheduler.enqueue` — a packet arrives at time ``now``.
+* :meth:`PacketScheduler.dequeue` — the link asks for the next packet at
+  time ``now``; returns a :class:`ScheduledPacket` record.
+
+Timing conventions
+------------------
+The scheduler keeps a monotonically non-decreasing internal clock.  Calls may
+omit ``now``:
+
+* ``enqueue(packet)`` falls back to ``packet.arrival_time`` and then to the
+  internal clock,
+* ``dequeue()`` falls back to the time the previously dequeued packet
+  finished transmission (i.e. it emulates a continuously busy link), which
+  makes algorithm-level tests read naturally: enqueue everything at t=0,
+  then ``dequeue()`` repeatedly to obtain the service order.
+
+Subclasses implement four hooks (``_on_enqueue``, ``_select_flow``,
+``_on_dequeued``, ``_on_system_empty``) and never touch the queues directly.
+"""
+
+from collections import deque
+
+from repro.core.flow import FlowConfig
+from repro.errors import (
+    ConfigurationError,
+    DuplicateFlowError,
+    EmptySchedulerError,
+    UnknownFlowError,
+)
+
+__all__ = ["PacketScheduler", "ScheduledPacket", "FlowState"]
+
+
+class ScheduledPacket:
+    """The result of one dequeue: the packet plus its service interval.
+
+    ``start_time`` is the instant the link began transmitting the packet and
+    ``finish_time = start_time + length / link_rate`` the instant it ends.
+    ``virtual_start`` / ``virtual_finish`` carry the algorithm's tags when it
+    has them (``None`` for FIFO and DRR).
+    """
+
+    __slots__ = ("packet", "start_time", "finish_time", "virtual_start", "virtual_finish")
+
+    def __init__(self, packet, start_time, finish_time, virtual_start=None, virtual_finish=None):
+        self.packet = packet
+        self.start_time = start_time
+        self.finish_time = finish_time
+        self.virtual_start = virtual_start
+        self.virtual_finish = virtual_finish
+
+    @property
+    def flow_id(self):
+        return self.packet.flow_id
+
+    @property
+    def delay(self):
+        """Queueing + transmission delay, if the arrival time is known."""
+        if self.packet.arrival_time is None:
+            return None
+        return self.finish_time - self.packet.arrival_time
+
+    def __repr__(self):
+        return (
+            f"ScheduledPacket({self.packet!r}, "
+            f"start={self.start_time!r}, finish={self.finish_time!r})"
+        )
+
+
+class FlowState:
+    """Per-flow runtime state: the FIFO queue plus algorithm tag slots.
+
+    ``index`` is the registration order; schedulers break virtual-tag ties
+    by it, which makes service orders deterministic and matches the paper's
+    Figure 2 convention (session 1, registered first, wins its ties).
+    """
+
+    __slots__ = ("config", "queue", "start_tag", "finish_tag", "bits_queued",
+                 "index")
+
+    def __init__(self, config, index=0):
+        self.config = config
+        self.queue = deque()
+        self.start_tag = 0
+        self.finish_tag = 0
+        self.bits_queued = 0
+        self.index = index
+
+    @property
+    def flow_id(self):
+        return self.config.flow_id
+
+    @property
+    def share(self):
+        return self.config.share
+
+    def head(self):
+        return self.queue[0] if self.queue else None
+
+    def __repr__(self):
+        return f"FlowState({self.flow_id!r}, queued={len(self.queue)})"
+
+
+class PacketScheduler:
+    """Abstract base for all one-level and hierarchical packet schedulers.
+
+    Parameters
+    ----------
+    rate:
+        Output link rate in bits per second.
+    """
+
+    #: Human-readable algorithm name, overridden by subclasses.
+    name = "abstract"
+
+    def __init__(self, rate):
+        if rate <= 0:
+            raise ConfigurationError(f"link rate must be positive, got {rate!r}")
+        self.rate = rate
+        self._flows = {}
+        self._next_flow_index = 0
+        self._buffer_limits = {}
+        self._drops = {}
+        self._total_share = 0
+        self._backlog_packets = 0
+        self._backlog_bits = 0
+        self._clock = 0
+        self._free_at = 0
+        self._dequeues = 0
+        self._enqueues = 0
+
+    # ------------------------------------------------------------------
+    # Flow registration
+    # ------------------------------------------------------------------
+    def add_flow(self, flow_id, share=1, name=None):
+        """Register a flow; returns its :class:`FlowConfig`.
+
+        ``flow_id`` may also be a ready-made :class:`FlowConfig`.
+        """
+        if isinstance(flow_id, FlowConfig):
+            config = flow_id
+        else:
+            config = FlowConfig(flow_id, share, name=name)
+        if config.flow_id in self._flows:
+            raise DuplicateFlowError(config.flow_id)
+        state = FlowState(config, index=self._next_flow_index)
+        self._next_flow_index += 1
+        self._flows[config.flow_id] = state
+        self._total_share += config.share
+        self._on_flow_added(state)
+        return config
+
+    def remove_flow(self, flow_id):
+        """Unregister an *idle* flow."""
+        state = self._flow(flow_id)
+        if state.queue:
+            raise ConfigurationError(
+                f"cannot remove backlogged flow {flow_id!r}"
+            )
+        self._on_flow_removed(state)
+        del self._flows[flow_id]
+        self._total_share -= state.share
+
+    def _flow(self, flow_id):
+        try:
+            return self._flows[flow_id]
+        except KeyError:
+            raise UnknownFlowError(flow_id) from None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def flow_ids(self):
+        return list(self._flows)
+
+    @property
+    def backlog(self):
+        """Number of queued packets across all flows."""
+        return self._backlog_packets
+
+    @property
+    def backlog_bits(self):
+        return self._backlog_bits
+
+    @property
+    def is_empty(self):
+        return self._backlog_packets == 0
+
+    @property
+    def clock(self):
+        """Latest time the scheduler has observed."""
+        return self._clock
+
+    @property
+    def busy_until(self):
+        """Finish time of the most recently dequeued packet."""
+        return self._free_at
+
+    def queue_length(self, flow_id):
+        """Queued packet count for one flow."""
+        return len(self._flow(flow_id).queue)
+
+    def queued_bits(self, flow_id):
+        return self._flow(flow_id).bits_queued
+
+    def backlogged_flows(self):
+        """Flow ids with at least one queued packet."""
+        return [fid for fid, st in self._flows.items() if st.queue]
+
+    def guaranteed_rate(self, flow_id):
+        """Absolute guaranteed rate r_i = share_i / total_share * rate."""
+        state = self._flow(flow_id)
+        return state.share / self._total_share * self.rate
+
+    def normalized_share(self, flow_id):
+        state = self._flow(flow_id)
+        return state.share / self._total_share
+
+    # ------------------------------------------------------------------
+    # Main operations
+    # ------------------------------------------------------------------
+    def set_buffer_limit(self, flow_id, packets):
+        """Cap a flow's queue at ``packets``; excess arrivals are dropped
+        (drop-tail).  ``None`` removes the cap.  Finite buffers are what let
+        TCP sources self-regulate in the link-sharing experiments."""
+        self._flow(flow_id)
+        if packets is None:
+            self._buffer_limits.pop(flow_id, None)
+        else:
+            if packets < 1:
+                raise ConfigurationError(
+                    f"buffer limit must be >= 1 packet, got {packets!r}"
+                )
+            self._buffer_limits[flow_id] = packets
+
+    def drops(self, flow_id=None):
+        """Packets dropped by the buffer cap (per flow, or total)."""
+        if flow_id is None:
+            return sum(self._drops.values())
+        return self._drops.get(flow_id, 0)
+
+    def enqueue(self, packet, now=None):
+        """A packet arrives.  ``now`` defaults to ``packet.arrival_time``.
+
+        Returns True if the packet was queued, False if the flow's buffer
+        cap dropped it.
+        """
+        if now is None:
+            now = packet.arrival_time
+        if now is None:
+            now = self._clock
+        if now < self._clock:
+            raise ValueError(
+                f"enqueue time {now!r} precedes scheduler clock {self._clock!r}"
+            )
+        if packet.arrival_time is None:
+            packet.arrival_time = now
+        state = self._flow(packet.flow_id)
+        self._clock = now
+        limit = self._buffer_limits.get(packet.flow_id)
+        if limit is not None and len(state.queue) >= limit:
+            self._drops[packet.flow_id] = self._drops.get(packet.flow_id, 0) + 1
+            return False
+        was_idle = self.is_empty
+        was_flow_empty = not state.queue
+        state.queue.append(packet)
+        state.bits_queued += packet.length
+        self._backlog_packets += 1
+        self._backlog_bits += packet.length
+        self._enqueues += 1
+        if was_idle:
+            # A new system busy period begins now (at the earliest).
+            self._free_at = max(self._free_at, now)
+        self._on_enqueue(state, packet, now, was_flow_empty, was_idle)
+        return True
+
+    def dequeue(self, now=None):
+        """Select the next packet for transmission at time ``now``.
+
+        Returns a :class:`ScheduledPacket`.  Raises
+        :class:`~repro.errors.EmptySchedulerError` when nothing is queued.
+        """
+        if self.is_empty:
+            raise EmptySchedulerError(f"{self.name}: dequeue on empty scheduler")
+        if now is None:
+            now = max(self._clock, self._free_at)
+        if now < self._clock:
+            raise ValueError(
+                f"dequeue time {now!r} precedes scheduler clock {self._clock!r}"
+            )
+        self._clock = now
+        state = self._select_flow(now)
+        packet = state.queue.popleft()
+        state.bits_queued -= packet.length
+        self._backlog_packets -= 1
+        self._backlog_bits -= packet.length
+        self._dequeues += 1
+        finish = now + packet.length / self.rate
+        self._free_at = finish
+        record = self._make_record(state, packet, now, finish)
+        self._on_dequeued(state, packet, now)
+        if self.is_empty:
+            self._on_system_empty(now)
+        return record
+
+    def drain(self, now=None):
+        """Dequeue everything back-to-back; returns the list of records.
+
+        Emulates a continuously busy link starting at ``now`` (default: the
+        natural next transmission time).
+        """
+        records = []
+        if self.is_empty:
+            return records
+        if now is not None:
+            record = self.dequeue(now)
+            records.append(record)
+        while not self.is_empty:
+            records.append(self.dequeue())
+        return records
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+    def _on_flow_added(self, state):
+        """Called after a flow is registered."""
+
+    def _on_flow_removed(self, state):
+        """Called before a flow is unregistered."""
+
+    def _on_enqueue(self, state, packet, now, was_flow_empty, was_idle):
+        """Called after a packet joined ``state.queue``."""
+
+    def _select_flow(self, now):
+        """Return the FlowState whose head packet is served next."""
+        raise NotImplementedError
+
+    def _on_dequeued(self, state, packet, now):
+        """Called after ``packet`` left ``state.queue``."""
+
+    def _on_system_empty(self, now):
+        """Called when the last packet leaves the system (busy period end)."""
+
+    def _make_record(self, state, packet, now, finish):
+        """Build the ScheduledPacket; subclasses may attach virtual tags."""
+        return ScheduledPacket(packet, now, finish)
+
+    def __repr__(self):
+        return (
+            f"{type(self).__name__}(rate={self.rate!r}, "
+            f"flows={len(self._flows)}, backlog={self._backlog_packets})"
+        )

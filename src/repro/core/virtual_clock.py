@@ -1,0 +1,67 @@
+"""Virtual Clock (Lixia Zhang, SIGCOMM '90).
+
+Each flow runs a private clock at its reserved rate: packet tags are
+
+    VC_i = max(VC_i + L / r_i, real arrival time)
+
+and the server transmits in increasing tag order.  Virtual Clock provides
+the same *delay bound* as WFQ for leaky-bucket traffic, but it is **not
+fair**: a flow that idles keeps its old clock, so on return it can either
+monopolise the link (clock far behind real time after the ``max``) or — in
+the unsynchronised variant without the ``max`` — be starved while it pays
+back service it never received.  It is included as the classic example that
+*bounded delay does not imply fairness*, the distinction the paper's WFI
+machinery makes precise.
+"""
+
+from repro.core.scheduler import PacketScheduler, ScheduledPacket
+from repro.dstruct.heap import IndexedHeap
+
+__all__ = ["VirtualClockScheduler"]
+
+
+class VirtualClockScheduler(PacketScheduler):
+    """Virtual Clock: per-flow clocks paced at the guaranteed rate.
+
+    Tags are assigned per packet at arrival (the flow clock advances by
+    ``L / r_i`` per packet, floored at real time), and service is in
+    increasing tag order.
+    """
+
+    name = "VirtualClock"
+
+    def __init__(self, rate):
+        super().__init__(rate)
+        self._heads = IndexedHeap()   # backlogged flows keyed by head tag
+        self._tags = {}               # packet uid -> (start, finish) tags
+
+    def _on_enqueue(self, state, packet, now, was_flow_empty, was_idle):
+        # auxVC update: the flow's clock never lags real time.
+        start = max(state.finish_tag, now)
+        finish = start + packet.length / self.guaranteed_rate(state.flow_id)
+        state.finish_tag = finish
+        self._tags[packet.uid] = (start, finish)
+        if was_flow_empty:
+            self._heads.push(state.flow_id, (finish, state.index))
+
+    def _select_flow(self, now):
+        return self._flows[self._heads.peek_item()]
+
+    def _on_dequeued(self, state, packet, now):
+        self._tags.pop(packet.uid)
+        self._heads.remove(state.flow_id)
+        head = state.head()
+        if head is not None:
+            self._heads.push(
+                state.flow_id, (self._tags[head.uid][1], state.index)
+            )
+
+    def _make_record(self, state, packet, now, finish):
+        start_tag, finish_tag = self._tags[packet.uid]
+        return ScheduledPacket(packet, now, finish,
+                               virtual_start=start_tag,
+                               virtual_finish=finish_tag)
+
+    def flow_clock(self, flow_id):
+        """Current value of a flow's virtual clock (its last finish tag)."""
+        return self._flow(flow_id).finish_tag

@@ -1,0 +1,164 @@
+"""WF2Q+ — the paper's primary contribution (Section 3.4).
+
+WF2Q+ keeps WF2Q's *Smallest Eligible virtual Finish time First* (SEFF)
+policy but replaces the O(N) exact GPS virtual time with the self-contained
+system virtual time of eq. (27):
+
+    V(t + tau) = max( V(t) + tau,  min over backlogged i of S_i )
+
+where ``S_i`` is the virtual start tag of the packet at the head of session
+i's queue.  The two properties that matter (both discussed in the paper):
+
+* **minimum slope 1** (the ``V(t) + tau`` arm) — necessary and sufficient for
+  delay bounds within one packet of GPS;
+* **V >= min start tag** (the ``min S_i`` arm) — a newly backlogged session's
+  start tag (``S = max(F_old, V)``) is then at least as large as some
+  currently backlogged session's, which yields the N-independent WFI of
+  Theorem 4, and it guarantees at least one eligible packet, i.e. work
+  conservation.
+
+Per-session (not per-packet) tags follow eqs. (28)-(29): when a packet
+reaches the head of session i's queue,
+
+    S_i = F_i                      if the queue was non-empty
+    S_i = max(F_i, V(arrival))     if the session was idle
+    F_i = S_i + L / r_i
+
+Tags are in seconds of guaranteed service: ``r_i`` is the session's absolute
+guaranteed rate ``share_i / total_share * link_rate``.
+
+Complexity: one :class:`~repro.dstruct.heap.IndexedHeap` keyed by start tag
+(for the eligibility test and the min-S_i term) plus one keyed by finish tag
+(for SEFF selection) give O(log N) per enqueue/dequeue — the paper's claim
+(c), demonstrated empirically by ``benchmarks/test_complexity_scaling.py``.
+"""
+
+from repro.core.scheduler import PacketScheduler, ScheduledPacket
+from repro.dstruct.heap import IndexedHeap
+
+__all__ = ["WF2QPlusScheduler"]
+
+
+class WF2QPlusScheduler(PacketScheduler):
+    """One-level WF2Q+ server: SEFF policy with the eq. (27) virtual time."""
+
+    name = "WF2Q+"
+
+    def __init__(self, rate):
+        super().__init__(rate)
+        self._virtual = 0
+        #: Real time at which self._virtual was last brought up to date.
+        self._virtual_stamp = 0
+        self._eligible = IndexedHeap()    # backlogged flows, key = finish tag
+        self._ineligible = IndexedHeap()  # backlogged flows, key = start tag
+        #: min start tag over *all* backlogged flows needs both heaps; we
+        #: track start tags for eligible flows in a third heap.
+        self._starts = IndexedHeap()      # all backlogged flows, key = start tag
+
+    # ------------------------------------------------------------------
+    # Virtual time (eq. 27)
+    # ------------------------------------------------------------------
+    def virtual_time(self):
+        """Current value of V (as of the last update instant)."""
+        return self._virtual
+
+    def _advance_virtual(self, now, floor=True):
+        """V(t + tau) = max(V + tau, min S_i) — evaluated lazily at events.
+
+        The min-S arm only applies at *selection* instants (``floor=True``),
+        mirroring the paper's pseudocode where V is updated in RESTART-NODE.
+        Applying it at arrival instants would let V leap to the start tag of
+        a lone backlogged session's queued packet, handing that session
+        extra early service and inflating the WFI beyond Theorem 4.
+        """
+        tau = now - self._virtual_stamp
+        v = self._virtual + tau
+        if floor and self._starts:
+            min_start = self._starts.min_key()
+            if min_start > v:
+                v = min_start
+        self._virtual = v
+        self._virtual_stamp = now
+
+    # ------------------------------------------------------------------
+    # Tag bookkeeping
+    # ------------------------------------------------------------------
+    def _set_head_tags(self, state, was_flow_empty, now):
+        """Apply eqs. (28)-(29) for the packet now at the head of ``state``."""
+        head = state.head()
+        if was_flow_empty:
+            state.start_tag = max(state.finish_tag, self._virtual)
+        else:
+            state.start_tag = state.finish_tag
+        rate_i = self.guaranteed_rate(state.flow_id)
+        state.finish_tag = state.start_tag + head.length / rate_i
+        self._register_head(state)
+
+    def _register_head(self, state):
+        flow_id = state.flow_id
+        self._starts.push_or_update(flow_id, state.start_tag)
+        if state.start_tag <= self._virtual:
+            self._ineligible.discard(flow_id)
+            self._eligible.push_or_update(
+                flow_id, (state.finish_tag, state.index)
+            )
+        else:
+            self._eligible.discard(flow_id)
+            self._ineligible.push_or_update(
+                flow_id, (state.start_tag, state.index)
+            )
+
+    def _promote_eligible(self):
+        while self._ineligible and self._ineligible.min_key()[0] <= self._virtual:
+            flow_id, _key = self._ineligible.pop()
+            state = self._flows[flow_id]
+            self._eligible.push(flow_id, (state.finish_tag, state.index))
+
+    # ------------------------------------------------------------------
+    # Scheduler hooks
+    # ------------------------------------------------------------------
+    def _on_enqueue(self, state, packet, now, was_flow_empty, was_idle):
+        if was_idle and now >= self._free_at:
+            # New system busy period: V restarts at zero and stale finish
+            # tags (everything was served) are cleared.  An arrival while
+            # the last packet is still in transmission (now < _free_at)
+            # belongs to the *same* busy period — tags must persist, or a
+            # returning flow would jump ahead with a fresh S = 0 and break
+            # the Theorem 4 WFI.
+            self._virtual = 0
+            self._virtual_stamp = now
+            for st in self._flows.values():
+                st.start_tag = 0
+                st.finish_tag = 0
+        if was_flow_empty:
+            self._advance_virtual(now, floor=False)
+            self._set_head_tags(state, True, now)
+
+    def _select_flow(self, now):
+        self._advance_virtual(now)
+        self._promote_eligible()
+        # The min-S arm of eq. (27) guarantees the eligible heap is
+        # non-empty whenever any flow is backlogged.
+        flow_id = self._eligible.peek_item()
+        return self._flows[flow_id]
+
+    def _on_dequeued(self, state, packet, now):
+        self._last_virtual_start = state.start_tag
+        self._last_virtual_finish = state.finish_tag
+        flow_id = state.flow_id
+        self._eligible.discard(flow_id)
+        self._ineligible.discard(flow_id)
+        self._starts.discard(flow_id)
+        if state.queue:
+            self._set_head_tags(state, False, now)
+
+    def _make_record(self, state, packet, now, finish):
+        return ScheduledPacket(
+            packet, now, finish,
+            virtual_start=state.start_tag,
+            virtual_finish=state.finish_tag,
+        )
+
+    def _on_system_empty(self, now):
+        # Busy period over; the reset happens lazily on the next enqueue.
+        pass

@@ -1,0 +1,82 @@
+"""WRR — Weighted Round Robin.
+
+The simplest weighted scheduler: visit backlogged flows cyclically, serving
+up to ``weight_i`` packets per visit.  O(1) per packet, but fairness is
+only packet-granular and only correct for uniform packet sizes (DRR exists
+precisely to fix the variable-size case).  WRR is the baseline the paper's
+related-work section groups with "low complexity, large WFI" schemes.
+"""
+
+from collections import deque
+
+from repro.core.scheduler import PacketScheduler
+from repro.errors import ConfigurationError
+
+__all__ = ["WRRScheduler"]
+
+
+class WRRScheduler(PacketScheduler):
+    """Weighted round robin with integer per-visit packet budgets.
+
+    A flow's per-round budget is ``ceil(share / min_share)`` packets, so
+    shares keep their relative meaning whatever their absolute scale.
+    """
+
+    name = "WRR"
+
+    def __init__(self, rate):
+        super().__init__(rate)
+        self._active = deque()     # backlogged flows, round-robin order
+        self._in_round = set()
+        self._current = None
+        self._budget = 0
+        self._min_share = None
+
+    def _on_flow_added(self, state):
+        if state.share != int(state.share) and not isinstance(state.share, int):
+            # Non-integer shares are fine; budgets are ceil'ed below.
+            pass
+        if self._min_share is None or state.share < self._min_share:
+            self._min_share = state.share
+
+    def _on_flow_removed(self, state):
+        others = [st.share for st in self._flows.values()
+                  if st.flow_id != state.flow_id]
+        self._min_share = min(others) if others else None
+
+    def _visit_budget(self, state):
+        budget = state.share / self._min_share
+        whole = int(budget)
+        return whole if whole == budget else whole + 1
+
+    def _on_enqueue(self, state, packet, now, was_flow_empty, was_idle):
+        if state.flow_id not in self._in_round:
+            self._active.append(state.flow_id)
+            self._in_round.add(state.flow_id)
+
+    def _select_flow(self, now):
+        while True:
+            if self._current is not None and self._budget > 0:
+                state = self._flows[self._current]
+                if state.queue:
+                    return state
+                self._in_round.discard(self._current)
+                self._current = None
+            elif self._current is not None:
+                # Budget exhausted: requeue at the back of the round.
+                self._active.append(self._current)
+                self._current = None
+            flow_id = self._active.popleft()
+            state = self._flows[flow_id]
+            if not state.queue:
+                self._in_round.discard(flow_id)
+                continue
+            self._current = flow_id
+            self._budget = self._visit_budget(state)
+
+    def _on_dequeued(self, state, packet, now):
+        self._budget -= 1
+        if not state.queue:
+            self._in_round.discard(state.flow_id)
+            self._current = None
+            self._budget = 0

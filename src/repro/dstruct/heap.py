@@ -1,0 +1,215 @@
+"""An indexed binary min-heap with decrease/increase-key.
+
+Python's :mod:`heapq` cannot update the priority of an element in place,
+which fair queueing schedulers need every time a session's head-of-queue
+packet changes (its virtual finish tag moves).  The usual workarounds —
+lazy deletion or rebuild — either inflate the heap or cost O(N).
+
+:class:`IndexedHeap` keeps a ``position`` map from item to heap slot, so
+
+* ``push``    — O(log N)
+* ``pop``     — O(log N)
+* ``update``  — O(log N) (key may move in either direction)
+* ``remove``  — O(log N)
+* ``peek``    — O(1)
+* ``min_key`` — O(1)
+
+Ties are broken by insertion order (FIFO among equal keys), which the
+schedulers rely on for deterministic, reproducible service order.
+
+Keys only need to support ``<``; items must be hashable and unique.
+"""
+
+__all__ = ["IndexedHeap"]
+
+
+class _Entry:
+    """A heap slot: (key, tiebreak sequence, item)."""
+
+    __slots__ = ("key", "seq", "item")
+
+    def __init__(self, key, seq, item):
+        self.key = key
+        self.seq = seq
+        self.item = item
+
+    def __lt__(self, other):
+        if self.key < other.key:
+            return True
+        if other.key < self.key:
+            return False
+        return self.seq < other.seq
+
+    def __repr__(self):  # pragma: no cover - debug aid
+        return f"_Entry(key={self.key!r}, seq={self.seq}, item={self.item!r})"
+
+
+class IndexedHeap:
+    """Binary min-heap over unique hashable items with updatable keys."""
+
+    def __init__(self):
+        self._heap = []
+        self._pos = {}
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self):
+        return len(self._heap)
+
+    def __bool__(self):
+        return bool(self._heap)
+
+    def __contains__(self, item):
+        return item in self._pos
+
+    def __iter__(self):
+        """Iterate over items in arbitrary (heap) order."""
+        return (entry.item for entry in self._heap)
+
+    def key_of(self, item):
+        """Return the current key of ``item`` (KeyError if absent)."""
+        return self._heap[self._pos[item]].key
+
+    def peek(self):
+        """Return the (item, key) pair with the smallest key without removal."""
+        if not self._heap:
+            raise IndexError("peek from an empty heap")
+        entry = self._heap[0]
+        return entry.item, entry.key
+
+    def peek_item(self):
+        """Return only the item with the smallest key."""
+        return self.peek()[0]
+
+    def min_key(self):
+        """Return the smallest key currently in the heap."""
+        return self.peek()[1]
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def push(self, item, key):
+        """Insert ``item`` with ``key``.  Raises ValueError if present."""
+        if item in self._pos:
+            raise ValueError(f"item already in heap: {item!r}")
+        entry = _Entry(key, self._seq, item)
+        self._seq += 1
+        self._heap.append(entry)
+        self._pos[item] = len(self._heap) - 1
+        self._sift_up(len(self._heap) - 1)
+
+    def pop(self):
+        """Remove and return the (item, key) pair with the smallest key."""
+        if not self._heap:
+            raise IndexError("pop from an empty heap")
+        top = self._heap[0]
+        last = self._heap.pop()
+        del self._pos[top.item]
+        if self._heap:
+            self._heap[0] = last
+            self._pos[last.item] = 0
+            self._sift_down(0)
+        return top.item, top.key
+
+    def update(self, item, key):
+        """Change the key of ``item`` (KeyError if absent)."""
+        index = self._pos[item]
+        entry = self._heap[index]
+        old_key = entry.key
+        entry.key = key
+        # Refresh the tiebreak so re-keyed items queue behind equal keys,
+        # matching the FIFO-among-ties convention for fresh pushes.
+        entry.seq = self._seq
+        self._seq += 1
+        if key < old_key:
+            self._sift_up(index)
+        else:
+            self._sift_down(index)
+
+    def push_or_update(self, item, key):
+        """Insert ``item`` or change its key if already present."""
+        if item in self._pos:
+            self.update(item, key)
+        else:
+            self.push(item, key)
+
+    def remove(self, item):
+        """Remove ``item`` (KeyError if absent) and return its key."""
+        index = self._pos.pop(item)
+        entry = self._heap[index]
+        last = self._heap.pop()
+        if index < len(self._heap):
+            self._heap[index] = last
+            self._pos[last.item] = index
+            # The displaced entry may need to move either way.
+            self._sift_up(index)
+            self._sift_down(self._pos[last.item])
+        return entry.key
+
+    def discard(self, item):
+        """Remove ``item`` if present; return True if it was removed."""
+        if item in self._pos:
+            self.remove(item)
+            return True
+        return False
+
+    def clear(self):
+        """Remove every item."""
+        self._heap.clear()
+        self._pos.clear()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _sift_up(self, index):
+        heap = self._heap
+        entry = heap[index]
+        while index > 0:
+            parent = (index - 1) >> 1
+            if entry < heap[parent]:
+                heap[index] = heap[parent]
+                self._pos[heap[index].item] = index
+                index = parent
+            else:
+                break
+        heap[index] = entry
+        self._pos[entry.item] = index
+
+    def _sift_down(self, index):
+        heap = self._heap
+        size = len(heap)
+        entry = heap[index]
+        while True:
+            child = 2 * index + 1
+            if child >= size:
+                break
+            right = child + 1
+            if right < size and heap[right] < heap[child]:
+                child = right
+            if heap[child] < entry:
+                heap[index] = heap[child]
+                self._pos[heap[index].item] = index
+                index = child
+            else:
+                break
+        heap[index] = entry
+        self._pos[entry.item] = index
+
+    def check_invariants(self):
+        """Validate heap order and the position map (for tests)."""
+        for index, entry in enumerate(self._heap):
+            if self._pos[entry.item] != index:
+                raise AssertionError(
+                    f"position map stale for {entry.item!r}: "
+                    f"map says {self._pos[entry.item]}, actual {index}"
+                )
+            child = 2 * index + 1
+            for c in (child, child + 1):
+                if c < len(self._heap) and self._heap[c] < entry:
+                    raise AssertionError(
+                        f"heap order violated at index {index} vs child {c}"
+                    )
+        if len(self._pos) != len(self._heap):
+            raise AssertionError("position map size mismatch")

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch a single base class.  The subclasses mirror the major subsystems:
+scheduler configuration, hierarchy construction, and simulation.
+"""
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SchedulerError",
+    "UnknownFlowError",
+    "DuplicateFlowError",
+    "EmptySchedulerError",
+    "HierarchyError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A scheduler, hierarchy, or experiment was configured inconsistently.
+
+    Examples: a non-positive service share, child shares that exceed the
+    parent's share, or a leaky bucket with a negative burst size.
+    """
+
+
+class SchedulerError(ReproError):
+    """Base class for runtime scheduler errors."""
+
+
+class UnknownFlowError(SchedulerError, KeyError):
+    """A packet referenced a flow id that was never registered."""
+
+    def __init__(self, flow_id):
+        super().__init__(flow_id)
+        self.flow_id = flow_id
+
+    def __str__(self):
+        return f"unknown flow id: {self.flow_id!r}"
+
+
+class DuplicateFlowError(SchedulerError):
+    """A flow id was registered twice with the same scheduler or node."""
+
+    def __init__(self, flow_id):
+        super().__init__(flow_id)
+        self.flow_id = flow_id
+
+    def __str__(self):
+        return f"flow id already registered: {self.flow_id!r}"
+
+
+class EmptySchedulerError(SchedulerError):
+    """``dequeue`` was called on a scheduler with no backlogged packets."""
+
+
+class HierarchyError(ReproError):
+    """The scheduling hierarchy was malformed (cycle, orphan, bad share)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""

@@ -1,0 +1,48 @@
+"""Reusable builders for every experiment in the paper's evaluation.
+
+* :mod:`repro.experiments.fig2` — the Section 3.1 example (Figure 2):
+  WFQ's burst vs WF2Q/WF2Q+'s interleaving vs the GPS fluid timeline.
+* :mod:`repro.experiments.delay` — the Figure 3 hierarchy and the three
+  cross-traffic scenarios behind Figures 4, 5, 6, and 7.
+* :mod:`repro.experiments.linksharing` — the Figure 8 hierarchy with TCP
+  and scripted on/off sources behind Figure 9.
+
+Each builder returns plain data (traces, series) so the same code feeds the
+tests, the benchmarks, and the examples.
+"""
+
+from repro.experiments.fig2 import (
+    fig2_gps_departures,
+    fig2_schedule,
+    run_fig2,
+)
+from repro.experiments.delay import (
+    FIG3_LINK_RATE,
+    FIG3_PACKET_LENGTH,
+    build_fig3_spec,
+    run_delay_experiment,
+)
+from repro.experiments.linksharing import (
+    FIG8_LINK_RATE,
+    FIG8_PACKET_LENGTH,
+    ONOFF_SCHEDULE,
+    build_fig8_spec,
+    ideal_intervals,
+    run_linksharing,
+)
+
+__all__ = [
+    "fig2_schedule",
+    "fig2_gps_departures",
+    "run_fig2",
+    "FIG3_LINK_RATE",
+    "FIG3_PACKET_LENGTH",
+    "build_fig3_spec",
+    "run_delay_experiment",
+    "FIG8_LINK_RATE",
+    "FIG8_PACKET_LENGTH",
+    "ONOFF_SCHEDULE",
+    "build_fig8_spec",
+    "ideal_intervals",
+    "run_linksharing",
+]

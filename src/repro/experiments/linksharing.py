@@ -1,0 +1,178 @@
+"""The Figure 8 hierarchy and the Figure 9 link-sharing experiment.
+
+Section 5.2 drives a four-level hierarchy with TCP sources (greedy,
+ack-clocked) plus one scripted on/off source per level, and shows that the
+bandwidth each TCP session receives under H-WF2Q+ tracks the ideal H-GPS
+allocation through every on/off transition.
+
+The exact Figure 8 tree is reconstructed from the narrative:
+
+* TCP-1 and on/off source OO-1 sit at the first level (so OO-1's state
+  affects everyone, and nothing below affects TCP-1 while N1 is
+  backlogged);
+* OO-2 sits with TCP-5 at level two, OO-3 with TCP-8 at level three, and
+  OO-4 with TCP-10/11 at the deepest level — giving exactly the gain/lose
+  pattern the paper describes at t = 5000/5250/6000/8000 ms.
+
+The scripted schedule reproduces the narrative's transition times::
+
+    t(ms):   0     5000   5250   6000   6750   7500   8000   8250   9000
+    OO-1:    on ............ off    on    off    on  ........  off    on
+    OO-2:    on    off ..............................................
+    OO-3:    on    off ........................................ on ...
+    OO-4:    off   on .......................................  off ...
+"""
+
+from repro.config.hierarchy_spec import HierarchySpec, leaf, node
+from repro.core.hierarchy import HPFQScheduler
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.monitor import ServiceTrace
+from repro.tcp.reno import Demux, TCPConnection
+from repro.traffic.source import IntervalSource
+
+__all__ = [
+    "FIG8_LINK_RATE",
+    "FIG8_PACKET_LENGTH",
+    "ONOFF_SCHEDULE",
+    "TRANSITIONS",
+    "TCP_FLOWS",
+    "build_fig8_spec",
+    "ideal_intervals",
+    "run_linksharing",
+]
+
+FIG8_LINK_RATE = 10_000_000
+FIG8_PACKET_LENGTH = 8 * 1024 * 8
+
+#: All TCP leaves (the paper examines 1, 5, 8, 10, 11).
+TCP_FLOWS = [f"TCP-{i}" for i in range(1, 12)]
+
+#: On intervals (seconds) of each on/off source, per the narrative.
+ONOFF_SCHEDULE = {
+    "OO-1": [(0.0, 5.25), (6.0, 6.75), (7.5, 8.25), (9.0, None)],
+    "OO-2": [(0.0, 5.0)],
+    "OO-3": [(0.0, 5.0), (8.0, None)],
+    "OO-4": [(5.0, 8.0)],
+}
+
+#: Times at which the active set changes.
+TRANSITIONS = [0.0, 5.0, 5.25, 6.0, 6.75, 7.5, 8.0, 8.25, 9.0]
+
+
+def build_fig8_spec():
+    """The Figure 8 class hierarchy (shares are sibling-relative).
+
+    The share choices reproduce the paper's step *directions*: OO-4 is a
+    heavyweight inside N3 (so its arrival at t=5s costs TCP-10/11 more than
+    OO-2/OO-3's simultaneous departure returns to them), while OO-2 and
+    OO-3 are light (so their release mainly benefits their own level's
+    TCPs, i.e. TCP-5 and TCP-8 gain at t=5s).
+    """
+    return HierarchySpec(node("root", 1, [
+        leaf("TCP-1", 10),
+        leaf("TCP-2", 10),
+        leaf("OO-1", 30),
+        node("N1", 50, [
+            leaf("TCP-3", 10),
+            leaf("TCP-4", 10),
+            leaf("TCP-5", 10),
+            leaf("OO-2", 10),
+            node("N2", 50, [
+                leaf("TCP-6", 10),
+                leaf("TCP-7", 10),
+                leaf("TCP-8", 10),
+                leaf("OO-3", 10),
+                node("N3", 50, [
+                    leaf("TCP-9", 15),
+                    leaf("TCP-10", 15),
+                    leaf("TCP-11", 20),
+                    leaf("OO-4", 50),
+                ]),
+            ]),
+        ]),
+    ]))
+
+
+def _onoff_peak(spec, name):
+    """Peak rate of an on/off source: exactly its guaranteed link fraction.
+
+    Sending *above* the guarantee would build a persistent backlog that
+    keeps the class active long after its off transition (smearing the
+    Figure 9 steps); at the guarantee the queue stays near-empty and the
+    class releases its bandwidth the moment it goes idle.  The ideal-rate
+    computation caps these sources at this peak via ``demands``.
+    """
+    return spec.guaranteed_rate(name, FIG8_LINK_RATE)
+
+
+def active_onoff(t):
+    """Names of the on/off sources active at time ``t``."""
+    active = []
+    for name, intervals in ONOFF_SCHEDULE.items():
+        for start, end in intervals:
+            if start <= t and (end is None or t < end):
+                active.append(name)
+                break
+    return sorted(active)
+
+
+def ideal_intervals(duration=10.0):
+    """[(t1, t2, active_leaves, demands)] between on/off transitions.
+
+    TCP leaves are greedy (unbounded demand); active on/off leaves are
+    capped at their peak rate — the inputs for
+    :func:`repro.core.hgps.hierarchical_fair_rates`.
+    """
+    spec = build_fig8_spec()
+    times = [t for t in TRANSITIONS if t < duration] + [duration]
+    out = []
+    for t1, t2 in zip(times, times[1:]):
+        onoff = active_onoff(t1)
+        active = list(TCP_FLOWS) + onoff
+        demands = {name: _onoff_peak(spec, name) for name in onoff}
+        out.append((t1, t2, active, demands))
+    return out
+
+
+#: TCP segment size: 1 KB keeps the ACK clock fast enough for the TCPs to
+#: absorb freed bandwidth within the sub-second on/off intervals (an 8 KB
+#: MSS at ~1 Mbps per flow makes RTTs of hundreds of ms and the windows
+#: cannot adapt between transitions).
+FIG8_TCP_MSS = 8 * 1024
+
+
+def run_linksharing(policy="wf2qplus", duration=10.0, buffer_packets=8,
+                    feedback_delay=0.002, tcp_mss=FIG8_TCP_MSS):
+    """Simulate the Figure 8/9 experiment under one H-PFQ policy.
+
+    Every TCP leaf gets a drop-tail buffer of ``buffer_packets``; on/off
+    leaves are unbuffered-unlimited (their queues stay short by
+    construction).  Returns the :class:`ServiceTrace`; feed it to
+    :func:`repro.analysis.bandwidth.throughput_series` for the Figure 9
+    curves.
+    """
+    spec = build_fig8_spec()
+    sim = Simulator()
+    trace = ServiceTrace()
+    scheduler = HPFQScheduler(spec, FIG8_LINK_RATE, policy=policy)
+    demux = Demux()
+    link = Link(sim, scheduler, receiver=demux, trace=trace)
+    for name in TCP_FLOWS:
+        scheduler.set_buffer_limit(name, buffer_packets)
+        conn = TCPConnection(name, mss=tcp_mss,
+                             feedback_delay=feedback_delay)
+        conn.attach(sim, link, demux).start()
+    for name, intervals in ONOFF_SCHEDULE.items():
+        # Short runs may end before a source's first on interval.
+        live = [(a, b) for a, b in intervals if a < duration]
+        if not live:
+            continue
+        source = IntervalSource(
+            name, peak_rate=_onoff_peak(spec, name),
+            packet_length=FIG8_PACKET_LENGTH, intervals=live,
+            stop_time=duration,
+        )
+        source.attach(sim, link).start()
+    sim.run(until=duration)
+    return trace

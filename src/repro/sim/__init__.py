@@ -1,0 +1,16 @@
+"""Discrete-event simulation substrate.
+
+The paper's experiments ran on MIT's NETSIM simulator; this package is the
+from-scratch equivalent: a deterministic event loop (:class:`Simulator`), an
+output link that drives any :class:`~repro.core.scheduler.PacketScheduler`
+(:class:`Link`), and measurement probes (:class:`ServiceTrace`,
+:class:`DelayMonitor`).
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.link import Link
+from repro.sim.monitor import DelayMonitor, ServiceTrace
+from repro.sim.network import DeliveryLog, Network
+
+__all__ = ["Simulator", "Event", "Link", "ServiceTrace", "DelayMonitor",
+           "Network", "DeliveryLog"]

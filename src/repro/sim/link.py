@@ -1,0 +1,125 @@
+"""An output link: the component that drives a scheduler in simulated time.
+
+The :class:`Link` owns one :class:`~repro.core.scheduler.PacketScheduler`.
+Sources push packets in with :meth:`Link.send`; whenever the transmitter is
+idle and the scheduler backlogged, the link dequeues the scheduler's choice,
+"transmits" it for ``length / rate`` seconds, then delivers it to the
+``receiver`` callback (optionally after a fixed propagation delay) and asks
+the scheduler for the next packet — i.e. the link is work-conserving.
+
+Every completed transmission is appended to the attached
+:class:`~repro.sim.monitor.ServiceTrace` (if any), which the analysis
+modules consume.
+"""
+
+from repro.errors import SimulationError
+
+__all__ = ["Link"]
+
+
+class Link:
+    """A transmitter paced at the scheduler's configured rate.
+
+    Parameters
+    ----------
+    sim:
+        The :class:`~repro.sim.engine.Simulator`.
+    scheduler:
+        Any :class:`~repro.core.scheduler.PacketScheduler`; its ``rate`` is
+        the link speed.
+    receiver:
+        Optional callable ``receiver(packet, time)`` invoked when a packet
+        has fully arrived at the far end.
+    propagation_delay:
+        Seconds added between transmission completion and delivery.
+    trace:
+        Optional :class:`~repro.sim.monitor.ServiceTrace` recording every
+        transmission.
+    """
+
+    def __init__(self, sim, scheduler, receiver=None, propagation_delay=0.0,
+                 trace=None):
+        if propagation_delay < 0:
+            raise SimulationError(
+                f"propagation delay must be >= 0, got {propagation_delay!r}"
+            )
+        self.sim = sim
+        self.scheduler = scheduler
+        self.receiver = receiver
+        self.propagation_delay = propagation_delay
+        self.trace = trace
+        self._transmitting = False
+        self._bits_sent = 0
+        self._packets_sent = 0
+        self._packets_dropped = 0
+        #: Optional callable ``drop_callback(packet, time)`` for tail drops.
+        self.drop_callback = None
+
+    @property
+    def rate(self):
+        return self.scheduler.rate
+
+    @property
+    def bits_sent(self):
+        return self._bits_sent
+
+    @property
+    def packets_sent(self):
+        return self._packets_sent
+
+    @property
+    def packets_dropped(self):
+        return self._packets_dropped
+
+    @property
+    def utilization(self):
+        """Fraction of elapsed simulation time spent transmitting."""
+        if self.sim.now <= 0:
+            return 0.0
+        return self._bits_sent / (self.rate * self.sim.now)
+
+    # ------------------------------------------------------------------
+    def send(self, packet):
+        """A packet arrives at the link's queueing point *now*.
+
+        Returns False when a per-flow buffer cap drops the packet.
+        """
+        now = self.sim.now
+        accepted = self.scheduler.enqueue(packet, now=now)
+        if not accepted:
+            self._packets_dropped += 1
+            if self.drop_callback is not None:
+                self.drop_callback(packet, now)
+            return False
+        if self.trace is not None:
+            self.trace.record_arrival(packet, now)
+        if not self._transmitting:
+            self._start_next(now)
+        return True
+
+    def _start_next(self, now):
+        record = self.scheduler.dequeue(now=now)
+        self._transmitting = True
+        self.sim.schedule(record.finish_time, self._finish, record, priority=-1)
+
+    def _finish(self, record):
+        now = self.sim.now
+        self._bits_sent += record.packet.length
+        self._packets_sent += 1
+        if self.trace is not None:
+            self.trace.record_service(record)
+        self._transmitting = False
+        if not self.scheduler.is_empty:
+            self._start_next(now)
+        if self.receiver is not None:
+            if self.propagation_delay > 0:
+                self.sim.schedule(now + self.propagation_delay,
+                                  self.receiver, record.packet, now + self.propagation_delay)
+            else:
+                self.receiver(record.packet, now)
+
+    def __repr__(self):
+        return (
+            f"Link(rate={self.rate!r}, sent={self._packets_sent}, "
+            f"busy={self._transmitting})"
+        )

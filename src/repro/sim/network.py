@@ -1,0 +1,178 @@
+"""Multi-hop networks: chains of scheduled links with per-flow routes.
+
+The paper's delay bounds are per-hop; the classic end-to-end result for
+rate-based servers (Parekh & Gallager part II, and [10] in the paper) is
+that a (sigma, rho)-constrained session crossing H WFQ-class hops with
+guaranteed rate ``r_i`` satisfies
+
+    D_e2e  <=  sigma / r_i  +  (H - 1) L_i,max / r_i  +  sum_h L_max / r_h
+               (+ propagation)
+
+:class:`Network` wires that scenario up: every node owns one output link
+(any :class:`~repro.core.scheduler.PacketScheduler`), flows follow static
+routes, and a :class:`DeliveryLog` records ingress-to-egress latency.
+``benchmarks/test_multihop_delay.py`` sweeps H and checks the bound.
+"""
+
+from collections import defaultdict
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.link import Link
+from repro.sim.monitor import ServiceTrace
+
+__all__ = ["Network", "DeliveryLog"]
+
+
+class DeliveryLog:
+    """End-to-end packet deliveries: (flow, ingress time, egress time)."""
+
+    def __init__(self):
+        self.deliveries = []
+        self._by_flow = defaultdict(list)
+
+    def record(self, packet, ingress_time, egress_time):
+        entry = (packet.flow_id, ingress_time, egress_time)
+        self.deliveries.append(entry)
+        self._by_flow[packet.flow_id].append(entry)
+
+    def delays(self, flow_id):
+        """[(ingress_time, end-to-end delay)] for one flow."""
+        return [(t_in, t_out - t_in)
+                for _f, t_in, t_out in self._by_flow.get(flow_id, [])]
+
+    def max_delay(self, flow_id):
+        d = self.delays(flow_id)
+        return max(v for _t, v in d) if d else 0.0
+
+    def mean_delay(self, flow_id):
+        d = self.delays(flow_id)
+        return sum(v for _t, v in d) / len(d) if d else 0.0
+
+    def count(self, flow_id=None):
+        if flow_id is None:
+            return len(self.deliveries)
+        return len(self._by_flow.get(flow_id, []))
+
+
+class _Ingress:
+    """Link-compatible entry point: stamps ingress time and forwards."""
+
+    def __init__(self, network, first_hop):
+        self._network = network
+        self._first_hop = first_hop
+
+    def send(self, packet):
+        self._network._ingress_times[packet.uid] = self._network.sim.now
+        return self._first_hop.send(packet)
+
+
+class Network:
+    """A set of named output links plus static per-flow routes.
+
+    Usage::
+
+        net = Network(sim)
+        net.add_node("s1", WF2QPlusScheduler(mbps(10)))
+        net.add_node("s2", WF2QPlusScheduler(mbps(10)), propagation_delay=0.001)
+        net.add_route("voice", ["s1", "s2"], share=3, buffer=None)
+        source.attach(sim, net.entry("voice")).start()
+
+    Flows are registered automatically at every node on their route with
+    the given share (per-node override via a dict ``{node: share}``).
+    """
+
+    def __init__(self, sim, log=None):
+        self.sim = sim
+        self.log = log if log is not None else DeliveryLog()
+        self._nodes = {}       # name -> Link
+        self._traces = {}      # name -> ServiceTrace
+        self._routes = {}      # flow_id -> [node names]
+        self._hop_index = {}   # packet uid -> next hop position
+        self._ingress_times = {}
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def add_node(self, name, scheduler, propagation_delay=0.0):
+        """Create an output link named ``name`` around ``scheduler``."""
+        if name in self._nodes:
+            raise ConfigurationError(f"duplicate node name: {name!r}")
+        trace = ServiceTrace()
+        link = Link(self.sim, scheduler, receiver=self._forward,
+                    propagation_delay=propagation_delay, trace=trace)
+        link.node_name = name
+        self._nodes[name] = link
+        self._traces[name] = trace
+        return link
+
+    def node(self, name):
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown node: {name!r}") from None
+
+    def trace_of(self, name):
+        """The per-node ServiceTrace."""
+        self.node(name)
+        return self._traces[name]
+
+    def add_route(self, flow_id, path, share=1, buffer=None):
+        """Register ``flow_id`` along ``path`` (a list of node names)."""
+        if not path:
+            raise ConfigurationError("route needs at least one hop")
+        if flow_id in self._routes:
+            raise ConfigurationError(f"flow {flow_id!r} already routed")
+        links = [self.node(name) for name in path]
+        for name, link in zip(path, links):
+            node_share = share[name] if isinstance(share, dict) else share
+            link.scheduler.add_flow(flow_id, node_share)
+            if buffer is not None:
+                link.scheduler.set_buffer_limit(flow_id, buffer)
+        self._routes[flow_id] = list(path)
+
+    def entry(self, flow_id):
+        """Link-compatible ingress object for sources of ``flow_id``."""
+        path = self._route(flow_id)
+        return _Ingress(self, self.node(path[0]))
+
+    def _route(self, flow_id):
+        try:
+            return self._routes[flow_id]
+        except KeyError:
+            raise ConfigurationError(f"flow {flow_id!r} has no route") from None
+
+    # ------------------------------------------------------------------
+    # Forwarding
+    # ------------------------------------------------------------------
+    def _forward(self, packet, now):
+        path = self._route(packet.flow_id)
+        position = self._hop_index.get(packet.uid, 0) + 1
+        if position >= len(path):
+            self._hop_index.pop(packet.uid, None)
+            ingress = self._ingress_times.pop(packet.uid, None)
+            if ingress is None:
+                raise SimulationError(
+                    f"packet {packet!r} delivered without an ingress stamp"
+                )
+            self.log.record(packet, ingress, now)
+            return
+        self._hop_index[packet.uid] = position
+        next_link = self._nodes[path[position]]
+        # Per-hop arrival time restamps so each scheduler sees local delay.
+        packet.arrival_time = now
+        next_link.send(packet)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def node_names(self):
+        return list(self._nodes)
+
+    def route_of(self, flow_id):
+        return list(self._route(flow_id))
+
+    def __repr__(self):
+        return (
+            f"Network(nodes={len(self._nodes)}, routes={len(self._routes)}, "
+            f"delivered={self.log.count()})"
+        )

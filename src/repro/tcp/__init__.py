@@ -1,0 +1,19 @@
+"""A compact TCP Reno model for the link-sharing experiments (Section 5.2).
+
+The paper drives its Figure 8/9 hierarchy with TCP sources: greedy,
+ack-clocked senders that expand into whatever bandwidth link-sharing gives
+their class and back off on loss.  :class:`TCPConnection` implements slow
+start, congestion avoidance, fast retransmit / fast recovery (with NewReno
+partial-ACK retransmission to avoid timeout storms) and a coarse
+retransmission timer — enough fidelity for bandwidth-sharing dynamics, which
+is what the experiment measures.
+
+Loss happens at the bottleneck's per-flow drop-tail buffers
+(:meth:`~repro.core.scheduler.PacketScheduler.set_buffer_limit`), never in
+the model itself; the reverse (ACK) path is uncongested with a fixed delay,
+as in the paper's single-bottleneck topology.
+"""
+
+from repro.tcp.reno import Demux, TahoeConnection, TCPConnection
+
+__all__ = ["TCPConnection", "TahoeConnection", "Demux"]

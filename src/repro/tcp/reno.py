@@ -1,0 +1,293 @@
+"""TCP Reno sender/receiver over a single simulated bottleneck.
+
+Topology per connection (the paper's Section 5.2 setup)::
+
+    sender --(0 delay)--> [bottleneck Link / H-PFQ leaf] --+
+       ^                                                   | delivery
+       +-------------- ACK, feedback_delay <---- receiver -+
+
+Segments are unit :class:`~repro.core.packet.Packet`\\ s whose ``payload``
+is the segment index; cumulative ACKs flow back after ``feedback_delay``
+seconds.  Congestion control:
+
+* slow start (cwnd += 1 MSS per new ACK) below ``ssthresh``;
+* congestion avoidance (cwnd += 1/cwnd) above it;
+* fast retransmit on 3 duplicate ACKs, fast recovery with window inflation;
+* NewReno partial-ACK handling (retransmit next hole, stay in recovery);
+* a coarse exponential-backoff retransmission timer (SRTT/RTTVAR per RFC
+  6298 with a configurable floor).
+
+The connection deliberately omits byte sequencing, SACK, delayed ACKs and
+Nagle: the experiments only need correct *bandwidth response* to the
+scheduler's allocation.
+"""
+
+from repro.core.packet import Packet
+from repro.errors import ConfigurationError
+
+__all__ = ["TCPConnection", "Demux"]
+
+
+class Demux:
+    """Routes delivered packets to per-flow receivers.
+
+    Install as a link's ``receiver``; register each TCP connection (or any
+    callable) per flow id.  Packets of unregistered flows are counted and
+    discarded (CBR/on-off traffic needs no receiver).
+    """
+
+    def __init__(self):
+        self._sinks = {}
+        self.unrouted = 0
+
+    def register(self, flow_id, callback):
+        self._sinks[flow_id] = callback
+
+    def __call__(self, packet, now):
+        sink = self._sinks.get(packet.flow_id)
+        if sink is None:
+            self.unrouted += 1
+        else:
+            sink(packet, now)
+
+
+class TCPConnection:
+    """One Reno sender + receiver pair across a bottleneck link.
+
+    Parameters
+    ----------
+    flow_id:
+        Leaf / flow id at the bottleneck scheduler.
+    mss:
+        Segment length in bits.
+    feedback_delay:
+        Seconds from the end of a segment's transmission at the bottleneck
+        to the ACK's arrival back at the sender (propagation + receiver
+        processing + reverse path).
+    start_time:
+        When the first segment is offered.
+    initial_cwnd / initial_ssthresh:
+        Segments; defaults 2 and 64.
+    max_cwnd:
+        Receiver-window cap in segments (None = uncapped).
+    min_rto:
+        Floor of the retransmission timer, seconds.
+    """
+
+    def __init__(self, flow_id, mss, feedback_delay, start_time=0.0,
+                 initial_cwnd=2.0, initial_ssthresh=64.0, max_cwnd=None,
+                 min_rto=0.2):
+        if mss <= 0:
+            raise ConfigurationError(f"mss must be positive, got {mss!r}")
+        if feedback_delay < 0:
+            raise ConfigurationError("feedback_delay must be >= 0")
+        self.flow_id = flow_id
+        self.mss = mss
+        self.feedback_delay = feedback_delay
+        self.start_time = start_time
+        self.min_rto = min_rto
+        self.max_cwnd = max_cwnd
+        # -- sender state
+        self.cwnd = initial_cwnd
+        self.ssthresh = initial_ssthresh
+        self.una = 0            # first unacknowledged segment
+        self.next_seq = 0       # next new segment index
+        self.dup_acks = 0
+        self.in_recovery = False
+        self.recover = 0        # NewReno recovery point
+        self.srtt = None
+        self.rttvar = None
+        self.rto = 1.0
+        self._rto_event = None
+        self._backoff = 1
+        self._send_times = {}   # seq -> first-send time (for RTT samples)
+        # -- receiver state
+        self.rcv_next = 0
+        self._ooo = set()
+        # -- stats
+        self.segments_sent = 0
+        self.retransmits = 0
+        self.timeouts = 0
+        self.acked = 0
+        # -- wiring
+        self.sim = None
+        self.link = None
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, sim, link, demux):
+        """Bind to the simulator, bottleneck link, and delivery demux."""
+        self.sim = sim
+        self.link = link
+        demux.register(self.flow_id, self._segment_delivered)
+        return self
+
+    def start(self):
+        if self.sim is None:
+            raise ConfigurationError("attach(sim, link, demux) before start()")
+        self.sim.schedule(self.start_time, self._try_send)
+        return self
+
+    # ------------------------------------------------------------------
+    # Sender
+    # ------------------------------------------------------------------
+    @property
+    def effective_window(self):
+        window = self.cwnd
+        if self.max_cwnd is not None:
+            window = min(window, self.max_cwnd)
+        return window
+
+    def _try_send(self):
+        """Emit new segments while the window allows."""
+        while self.next_seq < self.una + int(self.effective_window):
+            self._transmit(self.next_seq, new=True)
+            self.next_seq += 1
+
+    def _transmit(self, seq, new):
+        now = self.sim.now
+        packet = Packet(self.flow_id, self.mss, arrival_time=now,
+                        seqno=self.segments_sent, payload=seq)
+        self.segments_sent += 1
+        if new:
+            self._send_times[seq] = now
+        else:
+            self.retransmits += 1
+            self._send_times.pop(seq, None)  # Karn: no sample on rexmit
+        self.link.send(packet)  # drops are fine: loss is the feedback
+        if self._rto_event is None:
+            self._arm_rto()
+
+    # ------------------------------------------------------------------
+    # Receiver (runs at the far end; delivery time = bottleneck finish)
+    # ------------------------------------------------------------------
+    def _segment_delivered(self, packet, now):
+        seq = packet.payload
+        if seq == self.rcv_next:
+            self.rcv_next += 1
+            while self.rcv_next in self._ooo:
+                self._ooo.discard(self.rcv_next)
+                self.rcv_next += 1
+        elif seq > self.rcv_next:
+            self._ooo.add(seq)
+        # Cumulative ACK for every received segment (no delayed ACKs).
+        self.sim.schedule(now + self.feedback_delay, self._ack_arrived,
+                          self.rcv_next)
+
+    # ------------------------------------------------------------------
+    # ACK processing (back at the sender)
+    # ------------------------------------------------------------------
+    def _ack_arrived(self, ackno):
+        if ackno > self.una:
+            self._new_ack(ackno)
+        elif ackno == self.una and self.next_seq > self.una:
+            self._duplicate_ack()
+        self._try_send()
+
+    def _new_ack(self, ackno):
+        newly = ackno - self.una
+        self.acked += newly
+        # RTT sample from the oldest newly acked, first-transmission segment.
+        for seq in range(self.una, ackno):
+            sent = self._send_times.pop(seq, None)
+            if sent is not None:
+                self._rtt_sample(self.sim.now - sent)
+        self.una = ackno
+        self.dup_acks = 0
+        self._backoff = 1
+        if self.in_recovery:
+            if ackno > self.recover:
+                # Full ACK: leave recovery, deflate to ssthresh.
+                self.in_recovery = False
+                self.cwnd = self.ssthresh
+            else:
+                # NewReno partial ACK: retransmit the next hole, stay in.
+                self.cwnd = max(self.cwnd - newly + 1, 1.0)
+                self._transmit(self.una, new=False)
+        else:
+            if self.cwnd < self.ssthresh:
+                self.cwnd += newly            # slow start
+            else:
+                self.cwnd += newly / self.cwnd  # congestion avoidance
+        if self.una == self.next_seq:
+            self._cancel_rto()
+        else:
+            self._arm_rto()
+
+    def _duplicate_ack(self):
+        self.dup_acks += 1
+        if self.in_recovery:
+            self.cwnd += 1  # window inflation keeps the pipe full
+        elif self.dup_acks == 3:
+            # Fast retransmit.
+            flight = self.next_seq - self.una
+            self.ssthresh = max(flight / 2.0, 2.0)
+            self.cwnd = self.ssthresh + 3
+            self.in_recovery = True
+            self.recover = self.next_seq
+            self._transmit(self.una, new=False)
+            self._arm_rto()
+
+    # ------------------------------------------------------------------
+    # Retransmission timer
+    # ------------------------------------------------------------------
+    def _rtt_sample(self, rtt):
+        if self.srtt is None:
+            self.srtt = rtt
+            self.rttvar = rtt / 2.0
+        else:
+            self.rttvar = 0.75 * self.rttvar + 0.25 * abs(self.srtt - rtt)
+            self.srtt = 0.875 * self.srtt + 0.125 * rtt
+        self.rto = max(self.min_rto, self.srtt + 4.0 * self.rttvar)
+
+    def _arm_rto(self):
+        self._cancel_rto()
+        self._rto_event = self.sim.schedule_in(
+            self.rto * self._backoff, self._on_timeout
+        )
+
+    def _cancel_rto(self):
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+            self._rto_event = None
+
+    def _on_timeout(self):
+        self._rto_event = None
+        if self.una == self.next_seq:
+            return  # everything acked meanwhile
+        self.timeouts += 1
+        self.ssthresh = max(self.cwnd / 2.0, 2.0)
+        self.cwnd = 1.0
+        self.dup_acks = 0
+        self.in_recovery = False
+        self._backoff = min(self._backoff * 2, 64)
+        self._transmit(self.una, new=False)
+        self._arm_rto()
+
+    # ------------------------------------------------------------------
+    def __repr__(self):
+        return (
+            f"{type(self).__name__}({self.flow_id!r}, cwnd={self.cwnd:.2f}, "
+            f"una={self.una}, sent={self.segments_sent})"
+        )
+
+
+class TahoeConnection(TCPConnection):
+    """TCP Tahoe: fast retransmit without fast recovery.
+
+    On the third duplicate ACK Tahoe retransmits, halves ssthresh, and
+    drops straight back into slow start (cwnd = 1) — no window inflation,
+    no NewReno partial-ACK logic.  Included as the older baseline: under
+    identical link-sharing it underutilises its allocation relative to
+    Reno after every loss episode.
+    """
+
+    def _duplicate_ack(self):
+        self.dup_acks += 1
+        if self.dup_acks == 3:
+            self.ssthresh = max((self.next_seq - self.una) / 2.0, 2.0)
+            self.cwnd = 1.0
+            self.in_recovery = False
+            self._transmit(self.una, new=False)
+            self._arm_rto()

@@ -1,0 +1,40 @@
+"""Traffic sources for the simulator.
+
+Every source model used by the paper's evaluation (Section 5):
+
+* :class:`CBRSource` — constant bit rate (the PS-n "peak = guaranteed rate"
+  sessions of Figure 3, and overloaded variants at 1.5x).
+* :class:`OnOffSource` — deterministic on/off (the RT-1 25ms/75ms source and
+  the Figure 8 on/off sources).
+* :class:`PoissonSource` — Poisson packet arrivals (the overloaded-Poisson
+  scenarios of Figures 6-7).
+* :class:`PacketTrainSource` — the CS-n sessions: bursts of back-to-back
+  packets, modelling users behind an upstream multiplexer.
+* :class:`TraceSource` — explicit arrival times, for tests.
+* :class:`ShapedSource` — any source passed through a (sigma, rho) leaky
+  bucket shaper, producing the constrained traffic the delay bounds assume.
+"""
+
+from repro.traffic.source import (
+    CBRSource,
+    IntervalSource,
+    MarkovOnOffSource,
+    OnOffSource,
+    PacketTrainSource,
+    PoissonSource,
+    ShapedSource,
+    Source,
+    TraceSource,
+)
+
+__all__ = [
+    "Source",
+    "CBRSource",
+    "OnOffSource",
+    "IntervalSource",
+    "MarkovOnOffSource",
+    "PoissonSource",
+    "PacketTrainSource",
+    "TraceSource",
+    "ShapedSource",
+]

@@ -1,0 +1,376 @@
+"""Traffic source models.
+
+A :class:`Source` generates :class:`~repro.core.packet.Packet` objects into
+a :class:`~repro.sim.link.Link` according to its arrival process.  Sources
+are attached once and started; they self-schedule on the simulator.
+
+All sources share the conventions:
+
+* ``packet_length`` is in bits (the paper uses 8 KB = 65536-bit packets);
+* ``start_time`` / ``stop_time`` bound the emission window;
+* randomness comes from a per-source ``random.Random(seed)`` so that two
+  simulations of *different schedulers* see byte-identical arrivals — the
+  property the paper's paired comparisons (H-WFQ vs H-WF2Q+) rely on.
+"""
+
+import random
+
+from repro.core.flow import LeakyBucket
+from repro.core.packet import Packet
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Source",
+    "CBRSource",
+    "OnOffSource",
+    "PoissonSource",
+    "PacketTrainSource",
+    "TraceSource",
+    "ShapedSource",
+]
+
+
+class Source:
+    """Base class: owns flow id, packet size, emission window, counters."""
+
+    def __init__(self, flow_id, packet_length, start_time=0.0, stop_time=None):
+        if packet_length <= 0:
+            raise ConfigurationError(
+                f"packet_length must be positive, got {packet_length!r}"
+            )
+        if stop_time is not None and stop_time < start_time:
+            raise ConfigurationError("stop_time precedes start_time")
+        self.flow_id = flow_id
+        self.packet_length = packet_length
+        self.start_time = start_time
+        self.stop_time = stop_time
+        self.sim = None
+        self.link = None
+        self.packets_sent = 0
+        self.bits_sent = 0
+
+    def attach(self, sim, link):
+        """Bind to a simulator and a link; call before :meth:`start`."""
+        self.sim = sim
+        self.link = link
+        return self
+
+    def start(self):
+        """Schedule the first emission."""
+        if self.sim is None:
+            raise ConfigurationError("attach(sim, link) before start()")
+        self.sim.schedule(self.start_time, self._emit)
+        return self
+
+    # -- subclass API ----------------------------------------------------
+    def _emit(self):
+        """Emit one packet now and schedule the next one."""
+        now = self.sim.now
+        if self.stop_time is not None and now >= self.stop_time:
+            return
+        self._send_packet(now)
+        gap = self.next_gap()
+        if gap is not None:
+            self.sim.schedule(now + gap, self._emit)
+
+    def _send_packet(self, now, length=None):
+        length = length if length is not None else self.packet_length
+        packet = Packet(self.flow_id, length, arrival_time=now,
+                        seqno=self.packets_sent)
+        self.packets_sent += 1
+        self.bits_sent += length
+        self.link.send(packet)
+        return packet
+
+    def next_gap(self):
+        """Seconds until the next emission, or None to stop."""
+        raise NotImplementedError
+
+
+class CBRSource(Source):
+    """Constant bit rate: one packet every ``packet_length / rate`` seconds."""
+
+    def __init__(self, flow_id, rate, packet_length, start_time=0.0,
+                 stop_time=None):
+        super().__init__(flow_id, packet_length, start_time, stop_time)
+        if rate <= 0:
+            raise ConfigurationError(f"rate must be positive, got {rate!r}")
+        self.rate = rate
+
+    def next_gap(self):
+        return self.packet_length / self.rate
+
+
+class PoissonSource(Source):
+    """Poisson arrivals with mean rate ``rate`` (bits/second)."""
+
+    def __init__(self, flow_id, rate, packet_length, seed=0, start_time=0.0,
+                 stop_time=None):
+        super().__init__(flow_id, packet_length, start_time, stop_time)
+        if rate <= 0:
+            raise ConfigurationError(f"rate must be positive, got {rate!r}")
+        self.rate = rate
+        self._rng = random.Random(seed)
+
+    def next_gap(self):
+        mean_gap = self.packet_length / self.rate
+        return self._rng.expovariate(1.0 / mean_gap)
+
+
+class OnOffSource(Source):
+    """Deterministic on/off: CBR at ``peak_rate`` during on periods.
+
+    The duty cycle begins with an on period at ``start_time``.  RT-1 in
+    Figure 3 is ``OnOffSource(..., on_duration=0.025, off_duration=0.075)``;
+    the Figure 8 on/off sources toggle with second-scale periods.
+    """
+
+    def __init__(self, flow_id, peak_rate, packet_length, on_duration,
+                 off_duration, start_time=0.0, stop_time=None):
+        super().__init__(flow_id, packet_length, start_time, stop_time)
+        if peak_rate <= 0:
+            raise ConfigurationError(f"peak_rate must be positive, got {peak_rate!r}")
+        if on_duration <= 0 or off_duration < 0:
+            raise ConfigurationError("invalid on/off durations")
+        self.peak_rate = peak_rate
+        self.on_duration = on_duration
+        self.off_duration = off_duration
+
+    def is_on(self, now):
+        """True if ``now`` falls in an on period of the duty cycle."""
+        if now < self.start_time:
+            return False
+        phase = (now - self.start_time) % (self.on_duration + self.off_duration)
+        return phase < self.on_duration
+
+    def next_gap(self):
+        gap = self.packet_length / self.peak_rate
+        now = self.sim.now
+        cycle = self.on_duration + self.off_duration
+        phase = (now - self.start_time) % cycle
+        # Floating-point modulo can land infinitesimally *below* the cycle
+        # boundary (e.g. 0.3 % 0.1 == 0.09999...), which would make the
+        # deferral gap ~1e-17 and stall the clock; snap such phases to 0.
+        if cycle - phase < 1e-9 * cycle:
+            phase = 0.0
+        if phase + gap >= self.on_duration:
+            # The next emission would fall in (or beyond) the off period:
+            # defer it to the start of the next on period.
+            return cycle - phase
+        return gap
+
+
+class IntervalSource(Source):
+    """CBR at ``peak_rate`` during explicit [start, end) intervals.
+
+    The Figure 8 on/off sources toggle at irregular, scripted times; this
+    source takes that schedule directly: ``intervals`` is an iterable of
+    (start, end) pairs (non-overlapping; end may be None for "until
+    stop_time/forever" on the last interval).
+    """
+
+    def __init__(self, flow_id, peak_rate, packet_length, intervals,
+                 stop_time=None):
+        ivals = []
+        for start, end in intervals:
+            if end is not None and end <= start:
+                raise ConfigurationError(f"bad interval ({start!r}, {end!r})")
+            ivals.append((start, end))
+        ivals.sort(key=lambda iv: iv[0])
+        for (s1, e1), (s2, _e2) in zip(ivals, ivals[1:]):
+            if e1 is None or e1 > s2:
+                raise ConfigurationError("intervals overlap or are unordered")
+        if not ivals:
+            raise ConfigurationError("need at least one interval")
+        super().__init__(flow_id, packet_length, start_time=ivals[0][0],
+                         stop_time=stop_time)
+        if peak_rate <= 0:
+            raise ConfigurationError(f"peak_rate must be positive, got {peak_rate!r}")
+        self.peak_rate = peak_rate
+        self.intervals = ivals
+
+    def is_on(self, now):
+        for start, end in self.intervals:
+            if start <= now and (end is None or now < end):
+                return True
+        return False
+
+    def next_gap(self):
+        gap = self.packet_length / self.peak_rate
+        now = self.sim.now
+        target = now + gap
+        for start, end in self.intervals:
+            if end is None or target < end:
+                if target >= start:
+                    return target - now      # stays inside this interval
+                return start - now           # jump to the interval's start
+        return None                          # no more intervals
+
+
+class PacketTrainSource(Source):
+    """Bursts ("trains") of back-to-back packets with idle gaps between.
+
+    Models the CS-n sessions of Figure 3: traffic from several users merged
+    by an upstream multiplexer arrives as trains of ``train_length`` packets
+    spaced at the upstream line rate (``line_rate``), one train every
+    ``train_interval`` seconds.  With ``jitter_seed`` set, intervals are
+    uniformly jittered by +-``jitter`` to avoid perfect phase lock.
+    """
+
+    def __init__(self, flow_id, packet_length, train_length, train_interval,
+                 line_rate, start_time=0.0, stop_time=None, jitter=0.0,
+                 jitter_seed=None):
+        super().__init__(flow_id, packet_length, start_time, stop_time)
+        if train_length < 1:
+            raise ConfigurationError("train_length must be >= 1")
+        if train_interval <= 0 or line_rate <= 0:
+            raise ConfigurationError("invalid train interval or line rate")
+        self.train_length = train_length
+        self.train_interval = train_interval
+        self.line_rate = line_rate
+        self.jitter = jitter
+        self._rng = random.Random(jitter_seed) if jitter_seed is not None else None
+        self._position = 0  # index within the current train
+
+    def next_gap(self):
+        self._position += 1
+        if self._position < self.train_length:
+            return self.packet_length / self.line_rate
+        self._position = 0
+        gap = self.train_interval - (self.train_length - 1) * self.packet_length / self.line_rate
+        if gap <= 0:
+            raise ConfigurationError(
+                "train_interval shorter than the train itself"
+            )
+        if self._rng is not None and self.jitter > 0:
+            gap += self._rng.uniform(-self.jitter, self.jitter)
+            gap = max(gap, 0.0)
+        return gap
+
+    @property
+    def average_rate(self):
+        return self.train_length * self.packet_length / self.train_interval
+
+
+class MarkovOnOffSource(Source):
+    """Two-state Markov (exponential on/off) source — bursty cross-traffic.
+
+    On and off period lengths are exponentially distributed with the given
+    means; during on periods packets leave at ``peak_rate``.  The classic
+    voice/VBR model: mean rate ``peak * on / (on + off)`` with geometric
+    burst lengths, i.e. far burstier than Poisson at the same mean.
+    """
+
+    def __init__(self, flow_id, peak_rate, packet_length, mean_on, mean_off,
+                 seed=0, start_time=0.0, stop_time=None):
+        super().__init__(flow_id, packet_length, start_time, stop_time)
+        if peak_rate <= 0:
+            raise ConfigurationError(f"peak_rate must be positive, got {peak_rate!r}")
+        if mean_on <= 0 or mean_off <= 0:
+            raise ConfigurationError("mean_on and mean_off must be positive")
+        self.peak_rate = peak_rate
+        self.mean_on = mean_on
+        self.mean_off = mean_off
+        self._rng = random.Random(seed)
+        self._on_until = None  # set when the first emission fires
+
+    @property
+    def average_rate(self):
+        return self.peak_rate * self.mean_on / (self.mean_on + self.mean_off)
+
+    def next_gap(self):
+        now = self.sim.now
+        if self._on_until is None:
+            self._on_until = now + self._rng.expovariate(1.0 / self.mean_on)
+        gap = self.packet_length / self.peak_rate
+        if now + gap < self._on_until:
+            return gap
+        # Burst over: draw an off period, then a fresh on period.
+        off = self._rng.expovariate(1.0 / self.mean_off)
+        resume = self._on_until + off
+        self._on_until = resume + self._rng.expovariate(1.0 / self.mean_on)
+        return resume - now
+
+
+class TraceSource(Source):
+    """Emits packets at explicit times (optionally with per-packet lengths).
+
+    ``schedule`` is an iterable of times, or of (time, length) pairs.
+    """
+
+    def __init__(self, flow_id, schedule, packet_length):
+        entries = []
+        for item in schedule:
+            if isinstance(item, tuple):
+                entries.append(item)
+            else:
+                entries.append((item, packet_length))
+        entries.sort(key=lambda e: e[0])
+        start = entries[0][0] if entries else 0.0
+        super().__init__(flow_id, packet_length, start_time=start)
+        self._entries = entries
+        self._next = 0
+
+    def _emit(self):
+        now = self.sim.now
+        while self._next < len(self._entries) and self._entries[self._next][0] <= now:
+            _t, length = self._entries[self._next]
+            self._send_packet(now, length=length)
+            self._next += 1
+        if self._next < len(self._entries):
+            self.sim.schedule(self._entries[self._next][0], self._emit)
+
+    def next_gap(self):  # pragma: no cover - _emit is overridden
+        return None
+
+
+class ShapedSource(Source):
+    """Wrap any source with a (sigma, rho) leaky-bucket shaper.
+
+    Packets produced by the inner source are delayed until they conform;
+    the output is guaranteed leaky-bucket constrained, which is the
+    hypothesis of the paper's delay-bound corollaries.  Implemented by
+    interposing on the inner source's link: construct the shaper, then
+    attach/start the *shaper* (it attaches the inner source to itself).
+    """
+
+    def __init__(self, inner, sigma, rho):
+        super().__init__(inner.flow_id, inner.packet_length,
+                         inner.start_time, inner.stop_time)
+        self.inner = inner
+        self.bucket = LeakyBucket(sigma, rho)
+        self._release_at = 0.0  # shaper output must stay FIFO
+
+    def attach(self, sim, link):
+        super().attach(sim, link)
+        self.inner.attach(sim, self)  # we impersonate the inner's link
+        return self
+
+    def start(self):
+        if self.sim is None:
+            raise ConfigurationError("attach(sim, link) before start()")
+        self.inner.start()
+        return self
+
+    # The inner source calls .send() on us as if we were the link.
+    def send(self, packet):
+        now = self.sim.now
+        # Keep the bucket's clock monotonic: packets leave the shaper FIFO,
+        # so conformance is evaluated no earlier than the previous release.
+        earliest = max(now, self._release_at)
+        release = self.bucket.earliest_conforming_time(packet.length, earliest)
+        self.bucket.consume(packet.length, release)
+        self._release_at = release
+        if release <= now:
+            self._forward(packet)
+        else:
+            self.sim.schedule(release, self._forward, packet)
+
+    def _forward(self, packet):
+        packet.arrival_time = self.sim.now
+        self.packets_sent += 1
+        self.bits_sent += packet.length
+        self.link.send(packet)
+
+    def next_gap(self):  # pragma: no cover - emission is delegated
+        return None

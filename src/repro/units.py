@@ -1,0 +1,66 @@
+"""Unit helpers for rates, sizes, and times.
+
+The simulator works in *bits* for packet sizes, *bits per second* for rates,
+and *seconds* for time.  These helpers make experiment scripts readable
+(``mbps(10)`` instead of ``10_000_000``) and centralise the conventions so a
+unit mistake in one experiment cannot silently disagree with another.
+
+All helpers return plain numbers, so they compose with either ``float`` or
+:class:`fractions.Fraction` inputs (the schedulers are numeric-type-agnostic).
+"""
+
+__all__ = [
+    "kbps",
+    "mbps",
+    "gbps",
+    "bytes_",
+    "kilobytes",
+    "ms",
+    "us",
+    "transmission_time",
+    "BITS_PER_BYTE",
+]
+
+BITS_PER_BYTE = 8
+
+
+def kbps(value):
+    """Convert kilobits/second to bits/second."""
+    return value * 1_000
+
+
+def mbps(value):
+    """Convert megabits/second to bits/second."""
+    return value * 1_000_000
+
+
+def gbps(value):
+    """Convert gigabits/second to bits/second."""
+    return value * 1_000_000_000
+
+
+def bytes_(value):
+    """Convert bytes to bits (trailing underscore avoids the builtin)."""
+    return value * BITS_PER_BYTE
+
+
+def kilobytes(value):
+    """Convert kilobytes (1024 bytes, as the paper's 8 KB packets) to bits."""
+    return value * 1024 * BITS_PER_BYTE
+
+
+def ms(value):
+    """Convert milliseconds to seconds."""
+    return value / 1_000
+
+
+def us(value):
+    """Convert microseconds to seconds."""
+    return value / 1_000_000
+
+
+def transmission_time(length_bits, rate_bps):
+    """Time to serialise ``length_bits`` onto a link of ``rate_bps``."""
+    if rate_bps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_bps!r}")
+    return length_bits / rate_bps

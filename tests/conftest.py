@@ -1,0 +1,88 @@
+"""Shared helpers for the test suite."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.packet import Packet
+
+
+def make_packets(flow_id, n, length=1000, start=0.0, gap=0.0):
+    """n packets for one flow, arrivals spaced by ``gap`` from ``start``."""
+    return [
+        Packet(flow_id, length, arrival_time=start + k * gap, seqno=k)
+        for k in range(n)
+    ]
+
+
+def drain_order(scheduler):
+    """Dequeue everything; return the list of flow ids in service order."""
+    return [rec.flow_id for rec in scheduler.drain()]
+
+
+def service_records(scheduler):
+    return scheduler.drain()
+
+
+def enqueue_all(scheduler, packets, now=None):
+    for p in packets:
+        scheduler.enqueue(p, now=now if now is not None else p.arrival_time)
+
+
+@pytest.fixture
+def fr():
+    """Shorthand Fraction constructor for exact-arithmetic tests."""
+    return Fraction
+
+
+def assert_fifo_per_flow(records):
+    """Per-flow service must respect arrival (seqno) order."""
+    last_seq = {}
+    for rec in records:
+        seq = rec.packet.seqno
+        if seq is None:
+            continue
+        fid = rec.flow_id
+        if fid in last_seq:
+            assert seq > last_seq[fid], (
+                f"flow {fid!r} served seq {seq} after {last_seq[fid]}"
+            )
+        last_seq[fid] = seq
+
+
+def assert_no_overlap(records, rate):
+    """Service intervals must be disjoint and each sized length/rate."""
+    prev_finish = None
+    for rec in records:
+        expected = rec.packet.length / rate
+        assert rec.finish_time - rec.start_time == pytest.approx(expected)
+        if prev_finish is not None:
+            assert rec.start_time >= prev_finish - 1e-9, (
+                f"overlapping service at {rec.start_time}"
+            )
+        prev_finish = rec.finish_time
+
+
+def assert_work_conserving(records, arrivals_by_time):
+    """The link may only idle when nothing is queued.
+
+    ``arrivals_by_time``: sorted list of (arrival_time, packet).  Between
+    consecutive services, if there is a gap, no packet may have been
+    waiting through the whole gap.
+    """
+    for prev, nxt in zip(records, records[1:]):
+        gap_start, gap_end = prev.finish_time, nxt.start_time
+        if gap_end - gap_start <= 1e-9:
+            continue
+        for a_time, packet in arrivals_by_time:
+            if a_time >= gap_end:
+                break
+            # A packet that arrived before the gap ended and was served
+            # after the gap implies the link idled with work available.
+            served_at = next(
+                (r.start_time for r in records if r.packet is packet), None
+            )
+            assert not (
+                a_time <= gap_start + 1e-9 and served_at is not None
+                and served_at >= gap_end - 1e-9
+            ), f"link idled during [{gap_start}, {gap_end}] with {packet!r} queued"

@@ -1,0 +1,250 @@
+"""Tests for the analysis toolkit: bounds, WFI measurement, lag, bandwidth."""
+
+import pytest
+
+from repro.analysis.bandwidth import (
+    exponential_average,
+    ideal_rate_series,
+    mean_rate,
+    throughput_series,
+)
+from repro.analysis.bounds import (
+    hpfq_bwfi,
+    hpfq_delay_bound,
+    scfq_delay_bound,
+    wf2q_delay_bound,
+    wf2q_wfi,
+    wfq_wfi_lower_bound,
+)
+from repro.analysis.lag import max_service_lag, service_lag_series
+from repro.analysis.wfi import backlogged_periods, empirical_bwfi, empirical_twfi
+from repro.config.hierarchy_spec import HierarchySpec, leaf, node
+from repro.core.packet import Packet
+from repro.core.wf2qplus import WF2QPlusScheduler
+from repro.core.wfq import WFQScheduler
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.monitor import ServiceTrace
+from repro.traffic.source import CBRSource, TraceSource
+
+
+def fig3ish_spec():
+    return HierarchySpec(node("root", 1, [
+        node("N2", 1, [
+            node("N1", 5, [leaf("rt", 81), leaf("be", 19)]),
+            leaf("cs", 4),
+        ]),
+        leaf("ps", 1),
+    ]))
+
+
+class TestClosedFormBounds:
+    def test_wf2q_wfi_uniform_packets(self):
+        """Theorem 3/4: with L_i,max == L_max the WFI is exactly L_max."""
+        assert wf2q_wfi(1500, 1500, 100, 1000) == 1500
+
+    def test_wf2q_wfi_small_packets(self):
+        # L_i=500, L=1500, r_i/r = 0.1 -> 500 + 1000*0.1 = 600.
+        assert wf2q_wfi(500, 1500, 100, 1000) == 600
+
+    def test_wfq_wfi_grows_with_n(self):
+        small = wfq_wfi_lower_bound(10, 1500, 500, 1000)
+        large = wfq_wfi_lower_bound(100, 1500, 500, 1000)
+        assert large == pytest.approx(10 * small)
+        # And it dwarfs the WF2Q WFI for large N.
+        assert large > 10 * wf2q_wfi(1500, 1500, 500, 1000)
+
+    def test_delay_bounds(self):
+        assert wf2q_delay_bound(3000, 100, 1500, 1000) == pytest.approx(31.5)
+        assert scfq_delay_bound(0, 100, 1000, [1000] * 9, 1000) == pytest.approx(
+            10 + 9.0)
+
+    def test_hpfq_bwfi_theorem1(self):
+        """alpha_H = sum_h (phi_i / phi_p^h) alpha_p^h."""
+        spec = fig3ish_spec()
+        l_max = 1000
+        alpha = hpfq_bwfi(spec, "rt", 1.0, lambda n: l_max)
+        phi_rt = spec.guaranteed_fraction("rt")
+        expected = sum(
+            phi_rt / spec.guaranteed_fraction(n) * l_max
+            for n in ("rt", "N1", "N2")
+        )
+        assert alpha == pytest.approx(float(expected))
+
+    def test_hpfq_delay_bound_corollary2(self):
+        spec = fig3ish_spec()
+        rate = 1e6
+        l_max = 1000.0
+        sigma = 3000.0
+        bound = hpfq_delay_bound(spec, "rt", sigma, rate, lambda n: l_max)
+        expected = sigma / float(spec.guaranteed_rate("rt", rate))
+        for n in ("rt", "N1", "N2"):
+            expected += l_max / float(spec.guaranteed_rate(n, rate))
+        assert bound == pytest.approx(expected)
+
+    def test_node_wfi_accepts_mapping(self):
+        spec = fig3ish_spec()
+        wfis = {"rt": 10.0, "N1": 20.0, "N2": 30.0}
+        a_map = hpfq_bwfi(spec, "rt", 1.0, wfis)
+        a_fn = hpfq_bwfi(spec, "rt", 1.0, lambda n: wfis[n])
+        assert a_map == a_fn
+
+
+def run_trace(scheduler, arrivals, until):
+    """arrivals: list of (flow, [times], length) fed through a link."""
+    sim = Simulator()
+    trace = ServiceTrace()
+    link = Link(sim, scheduler, trace=trace)
+    for flow, times, length in arrivals:
+        TraceSource(flow, times, length).attach(sim, link).start()
+    sim.run(until=until)
+    return trace
+
+
+class TestBackloggedPeriods:
+    def test_simple_periods(self):
+        s = WF2QPlusScheduler(1000.0)
+        s.add_flow("a", 1)
+        trace = run_trace(s, [("a", [0.0, 5.0], 100.0)], until=10.0)
+        periods = backlogged_periods(trace, "a")
+        assert len(periods) == 2
+        assert periods[0] == (0.0, pytest.approx(0.1))
+        assert periods[1] == (5.0, pytest.approx(5.1))
+
+    def test_merged_backlog(self):
+        s = WF2QPlusScheduler(1000.0)
+        s.add_flow("a", 1)
+        trace = run_trace(s, [("a", [0.0, 0.05], 100.0)], until=10.0)
+        periods = backlogged_periods(trace, "a")
+        assert len(periods) == 1
+        assert periods[0][1] == pytest.approx(0.2)
+
+    def test_service_arrival_mismatch_rejected(self):
+        trace = ServiceTrace()
+
+        class Rec:
+            finish_time = 1.0
+            flow_id = "a"
+            packet = Packet("a", 1)
+        trace.record_service(Rec)
+        with pytest.raises(ValueError):
+            backlogged_periods(trace, "a")
+
+
+class TestEmpiricalWFI:
+    def _two_flow_trace(self, scheduler_cls):
+        s = scheduler_cls(1000.0)
+        s.add_flow("a", 1)
+        s.add_flow("b", 1)
+        sim = Simulator()
+        trace = ServiceTrace()
+        link = Link(sim, s, trace=trace)
+        CBRSource("a", rate=500.0, packet_length=100).attach(sim, link).start()
+        CBRSource("b", rate=500.0, packet_length=100).attach(sim, link).start()
+        sim.run(until=20.0)
+        return trace
+
+    def test_wf2qplus_bwfi_within_theorem4(self):
+        trace = self._two_flow_trace(WF2QPlusScheduler)
+        alpha = empirical_bwfi(trace, "a", guaranteed_rate=500.0)
+        bound = wf2q_wfi(100, 100, 500, 1000)
+        assert alpha <= bound + 1e-6
+
+    def test_twfi_nonnegative_and_bounded(self):
+        trace = self._two_flow_trace(WF2QPlusScheduler)
+        t_wfi = empirical_twfi(trace, "a", guaranteed_rate=500.0)
+        assert 0 <= t_wfi <= 100 / 500.0 + 1e-6  # alpha / r_i
+
+    def test_wfq_bwfi_exceeds_wf2q_on_fig2(self):
+        """The Figure 2 workload: WFQ's measured B-WFI must dwarf WF2Q+'s."""
+        def fig2_trace(cls):
+            s = cls(1.0)
+            s.add_flow(1, 0.5)
+            for j in range(2, 12):
+                s.add_flow(j, 0.05)
+            sim = Simulator()
+            trace = ServiceTrace()
+            link = Link(sim, s, trace=trace)
+            TraceSource(1, [0.0] * 11, 1.0).attach(sim, link).start()
+            for j in range(2, 12):
+                TraceSource(j, [0.0], 1.0).attach(sim, link).start()
+            sim.run(until=30.0)
+            return trace
+        wfq_alpha = empirical_bwfi(fig2_trace(WFQScheduler), 1, 0.5)
+        w2q_alpha = empirical_bwfi(fig2_trace(WF2QPlusScheduler), 1, 0.5)
+        assert wfq_alpha > 3.0       # ~ N/2 * r_i/r packets
+        assert w2q_alpha <= 1.5      # ~ one packet
+
+    def test_empty_flow(self):
+        trace = ServiceTrace()
+        assert empirical_bwfi(trace, "ghost", 1.0) == 0.0
+
+
+class TestLag:
+    def test_lag_series_tracks_queue(self):
+        s = WF2QPlusScheduler(1000.0)
+        s.add_flow("a", 1)
+        trace = run_trace(s, [("a", [0.0, 0.0, 0.0], 100.0)], until=5.0)
+        series = service_lag_series(trace, "a")
+        assert max_service_lag(trace, "a") == 3
+        assert series[-1][1] == 0  # fully served at the end
+
+    def test_bits_unit(self):
+        s = WF2QPlusScheduler(1000.0)
+        s.add_flow("a", 1)
+        trace = run_trace(s, [("a", [0.0, 0.0], 250.0)], until=5.0)
+        assert max_service_lag(trace, "a", unit="bits") == 500
+
+    def test_empty(self):
+        assert max_service_lag(ServiceTrace(), "x") == 0
+
+
+class TestBandwidth:
+    def _trace(self):
+        s = WF2QPlusScheduler(1000.0)
+        s.add_flow("a", 1)
+        sim = Simulator()
+        trace = ServiceTrace()
+        link = Link(sim, s, trace=trace)
+        CBRSource("a", rate=400.0, packet_length=100).attach(sim, link).start()
+        sim.run(until=10.0)
+        return trace
+
+    def test_throughput_series_recovers_rate(self):
+        trace = self._trace()
+        series = throughput_series(trace, "a", bucket=1.0, until=10.0)
+        assert len(series) == 10
+        mean = sum(v for _t, v in series) / len(series)
+        assert mean == pytest.approx(400.0, rel=0.1)
+
+    def test_ema_smooths(self):
+        series = [(t, 0.0 if t % 2 else 100.0) for t in range(20)]
+        smooth = exponential_average(series, alpha=0.3)
+        raw_var = max(v for _t, v in series) - min(v for _t, v in series)
+        sm_vals = [v for _t, v in smooth[5:]]
+        assert max(sm_vals) - min(sm_vals) < raw_var
+
+    def test_ema_validates_alpha(self):
+        with pytest.raises(ValueError):
+            exponential_average([], alpha=0.0)
+
+    def test_mean_rate(self):
+        trace = self._trace()
+        assert mean_rate(trace, "a", 1.0, 9.0) == pytest.approx(400.0, rel=0.1)
+        with pytest.raises(ValueError):
+            mean_rate(trace, "a", 5.0, 5.0)
+
+    def test_bucket_validation(self):
+        with pytest.raises(ValueError):
+            throughput_series(ServiceTrace(), "a", bucket=0)
+
+    def test_ideal_rate_series(self):
+        spec = HierarchySpec(node("r", 1, [leaf("a", 1), leaf("b", 1)]))
+        series = ideal_rate_series(
+            spec, 10.0,
+            [(0, 1, ["a", "b"]), (1, 2, ["a"]), (2, 3, ["a", "b"], {"b": 2.0})],
+            "a",
+        )
+        assert series[0] == (0, 1, pytest.approx(5.0))
+        assert series[1] == (1, 2, pytest.approx(10.0))
+        assert series[2] == (2, 3, pytest.approx(8.0))

@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_delay_defaults(self):
+        args = build_parser().parse_args(["delay"])
+        assert args.scenario == 1
+        assert args.policy == "wf2qplus"
+        assert args.duration == 6.0
+
+    def test_bad_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["delay", "--scenario", "9"])
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["delay", "--policy", "nope"])
+
+
+class TestCommands:
+    def test_fig2(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "WFQ" in out and "WF2Q+" in out and "GPS" in out
+
+    def test_delay(self, capsys):
+        assert main(["delay", "--duration", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "max delay" in out
+        assert "Cor. 2 bound" in out
+
+    def test_delay_series(self, capsys):
+        assert main(["delay", "--duration", "0.5", "--series"]) == 0
+        out = capsys.readouterr().out
+        # Series lines: "<time> <delay_ms>".
+        data_lines = [l for l in out.splitlines()
+                      if l and l[0].isdigit() and " " in l]
+        assert len(data_lines) > 0
+
+    def test_linksharing(self, capsys):
+        assert main(["linksharing", "--duration", "2.0"]) == 0
+        out = capsys.readouterr().out
+        assert "TCP-1" in out
+        assert "mean relative error" in out
+
+    def test_bounds(self, capsys):
+        assert main(["bounds"]) == 0
+        out = capsys.readouterr().out
+        assert "RT-1" in out
+        assert "WF2Q/WF2Q+" in out

@@ -1,0 +1,91 @@
+"""Coverage for the error hierarchy and miscellaneous package surface."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    ConfigurationError,
+    DuplicateFlowError,
+    EmptySchedulerError,
+    HierarchyError,
+    ReproError,
+    SchedulerError,
+    SimulationError,
+    UnknownFlowError,
+)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (ConfigurationError, SchedulerError, UnknownFlowError,
+                    DuplicateFlowError, EmptySchedulerError, HierarchyError,
+                    SimulationError):
+            assert issubclass(exc, ReproError)
+
+    def test_unknown_flow_is_key_error(self):
+        assert issubclass(UnknownFlowError, KeyError)
+        err = UnknownFlowError("ghost")
+        assert err.flow_id == "ghost"
+        assert "ghost" in str(err)
+
+    def test_duplicate_flow_message(self):
+        err = DuplicateFlowError("dup")
+        assert err.flow_id == "dup"
+        assert "dup" in str(err)
+
+    def test_catchable_as_base(self):
+        from repro import WF2QPlusScheduler
+        s = WF2QPlusScheduler(1.0)
+        with pytest.raises(ReproError):
+            s.dequeue()
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_scheduler_names_unique(self):
+        from repro import (
+            DRRScheduler,
+            FFQScheduler,
+            FIFOScheduler,
+            SCFQScheduler,
+            SFQScheduler,
+            VirtualClockScheduler,
+            WF2QPlusScheduler,
+            WF2QScheduler,
+            WFQScheduler,
+            WRRScheduler,
+        )
+        names = [cls.name for cls in (
+            DRRScheduler, FFQScheduler, FIFOScheduler, SCFQScheduler,
+            SFQScheduler, VirtualClockScheduler, WF2QPlusScheduler,
+            WF2QScheduler, WFQScheduler, WRRScheduler)]
+        assert len(names) == len(set(names))
+
+    def test_repr_smoke(self):
+        """Every public object with custom __repr__ renders."""
+        from fractions import Fraction as Fr
+        from repro import (
+            HierarchySpec, LeakyBucket, Packet, WF2QPlusScheduler,
+            leaf, node,
+        )
+        from repro.sim import DeliveryLog, Network, Simulator
+
+        sim = Simulator()
+        net = Network(sim)
+        objs = [
+            Packet("f", 10),
+            LeakyBucket(10, 1),
+            WF2QPlusScheduler(Fr(1)),
+            HierarchySpec(node("r", 1, [leaf("x", 1)])),
+            sim,
+            net,
+            DeliveryLog(),
+        ]
+        for obj in objs:
+            assert repr(obj)

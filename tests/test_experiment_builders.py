@@ -1,0 +1,108 @@
+"""Coverage for the experiment builders' internal consistency.
+
+The figure benchmarks rely on these invariants; testing them separately
+means a parameter edit that silently breaks a scenario fails fast here
+rather than as a mysterious shape change in a benchmark.
+"""
+
+import pytest
+
+from repro.config.hierarchy_spec import HierarchySpec
+from repro.experiments import delay as dexp
+from repro.experiments import linksharing as lexp
+from repro.experiments.fig2 import FIG2_BURST, FIG2_SESSIONS, _arrivals, _shares
+
+
+class TestFig2Builder:
+    def test_shares_sum_to_one(self):
+        total = sum(share for _fid, share in _shares())
+        assert total == 1
+
+    def test_arrival_counts(self):
+        arrivals = list(_arrivals())
+        assert len(arrivals) == FIG2_BURST + (FIG2_SESSIONS - 1)
+        assert sum(1 for fid, _l, _t in arrivals if fid == 1) == FIG2_BURST
+
+
+class TestFig3Builder:
+    def test_stated_quantities(self):
+        """The quantities the paper states explicitly must hold exactly."""
+        spec = dexp.build_fig3_spec()
+        # RT-1: share 0.81 of N-1, guaranteed 9 Mbps.
+        assert float(spec.normalized_share("RT-1")) == pytest.approx(0.81)
+        assert float(spec.guaranteed_rate("RT-1", dexp.FIG3_LINK_RATE)) == \
+            pytest.approx(9_000_000)
+        # 8 KB packets.
+        assert dexp.FIG3_PACKET_LENGTH == 8 * 1024 * 8
+
+    def test_leaf_fractions_sum_to_one(self):
+        spec = dexp.build_fig3_spec()
+        total = sum(float(spec.guaranteed_fraction(n))
+                    for n in spec.leaf_names())
+        assert total == pytest.approx(1.0)
+
+    def test_rt1_envelope_is_one_packet(self):
+        """Peak == guarantee means emissions are spaced exactly L/rho, so
+        sigma is a single packet — the hypothesis of the bound tests."""
+        assert dexp.RT1_PEAK == dexp.RT1_GUARANTEED_RATE
+        assert dexp.RT1_SIGMA == dexp.FIG3_PACKET_LENGTH
+
+    def test_cs_sources_within_guarantee(self):
+        spec = dexp.build_fig3_spec()
+        cs_rate = float(spec.guaranteed_rate("CS-1", dexp.FIG3_LINK_RATE))
+        avg = dexp.CS_TRAIN_LENGTH * dexp.FIG3_PACKET_LENGTH / dexp.CS_TRAIN_INTERVAL
+        assert avg <= cs_rate
+
+    @pytest.mark.parametrize("scenario,n_sources", [(1, 22), (2, 12), (3, 22)])
+    def test_source_counts(self, scenario, n_sources):
+        assert len(dexp.build_sources(scenario)) == n_sources
+
+    def test_bad_scenario(self):
+        with pytest.raises(ValueError):
+            dexp.build_sources(9)
+
+    def test_sources_cover_all_leaves_scenario1(self):
+        spec = dexp.build_fig3_spec()
+        flows = {s.flow_id for s in dexp.build_sources(1)}
+        assert flows == set(spec.leaf_names())
+
+
+class TestFig8Builder:
+    def test_tree_structure(self):
+        spec = lexp.build_fig8_spec()
+        assert isinstance(spec, HierarchySpec)
+        assert set(lexp.TCP_FLOWS) <= set(spec.leaf_names())
+        # One on/off source per level, at increasing depth.
+        assert spec.depth("OO-1") == 1
+        assert spec.depth("OO-2") == 2
+        assert spec.depth("OO-3") == 3
+        assert spec.depth("OO-4") == 4
+
+    def test_schedule_transitions_sorted(self):
+        assert lexp.TRANSITIONS == sorted(lexp.TRANSITIONS)
+        for name, intervals in lexp.ONOFF_SCHEDULE.items():
+            for start, end in intervals:
+                assert start in lexp.TRANSITIONS
+                assert end is None or end in lexp.TRANSITIONS
+
+    def test_active_onoff_matches_schedule(self):
+        assert lexp.active_onoff(1.0) == ["OO-1", "OO-2", "OO-3"]
+        assert lexp.active_onoff(5.1) == ["OO-1", "OO-4"]
+        assert lexp.active_onoff(5.5) == ["OO-4"]
+        assert lexp.active_onoff(9.5) == ["OO-1", "OO-3"]
+
+    def test_ideal_intervals_partition_time(self):
+        ivals = lexp.ideal_intervals(10.0)
+        assert ivals[0][0] == 0.0 and ivals[-1][1] == 10.0
+        for (t1, t2, _a, _d), (t3, _t4, _a2, _d2) in zip(ivals, ivals[1:]):
+            assert t2 == t3
+        # Demands only cover active on/off sources.
+        for _t1, _t2, active, demands in ivals:
+            assert set(demands) == {n for n in active if n.startswith("OO")}
+
+    def test_short_run_skips_future_sources(self):
+        """Regression: a 2-second run must not instantiate OO-4 (first on
+        at t=5) with stop_time before start_time."""
+        trace = lexp.run_linksharing("wf2qplus", duration=2.0)
+        assert trace.packets_served("OO-4") == 0
+        assert trace.packets_served("TCP-1") > 0

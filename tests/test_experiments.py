@@ -1,0 +1,174 @@
+"""Integration tests: the paper's experiments, asserted on their *shape*.
+
+Short-duration versions of the benchmark runs; the full-length versions
+live in benchmarks/.
+"""
+
+from fractions import Fraction as Fr
+
+import pytest
+
+from repro.analysis.bandwidth import mean_rate
+from repro.analysis.bounds import hpfq_delay_bound
+from repro.analysis.lag import max_service_lag
+from repro.core.hgps import hierarchical_fair_rates
+from repro.core.wf2q import WF2QScheduler
+from repro.core.wf2qplus import WF2QPlusScheduler
+from repro.core.wfq import WFQScheduler
+from repro.experiments import delay as delay_exp
+from repro.experiments import linksharing as ls_exp
+from repro.experiments.fig2 import (
+    fig2_gps_departures,
+    fig2_schedule,
+    run_fig2,
+    service_discrepancy_vs_gps,
+)
+
+
+class TestFig2:
+    """Figure 2: WFQ bursts, WF2Q/WF2Q+ interleave, GPS is the reference."""
+
+    def test_wfq_timeline(self):
+        order = [fid for fid, _s, _f in fig2_schedule(WFQScheduler)]
+        assert order[:10] == [1] * 10
+        assert order[20] == 1  # p_1^11 served last
+
+    def test_wf2q_and_wf2qplus_identical_here(self):
+        o1 = [fid for fid, _s, _f in fig2_schedule(WF2QScheduler)]
+        o2 = [fid for fid, _s, _f in fig2_schedule(WF2QPlusScheduler)]
+        assert o1 == o2
+        assert o1[0::2] == [1] * 11  # session 1 in every other slot
+
+    def test_gps_reference(self):
+        finishes = dict()
+        for fid, t in fig2_gps_departures():
+            finishes.setdefault(fid, t)  # first packet's finish
+        assert finishes[1] == Fr(2)
+        assert finishes[2] == Fr(20)
+
+    def test_discrepancy_ranking(self):
+        """WFQ ~N/2 packets off GPS; WF2Q/WF2Q+ < 1 packet."""
+        wfq = service_discrepancy_vs_gps(fig2_schedule(WFQScheduler))
+        wf2q = service_discrepancy_vs_gps(fig2_schedule(WF2QScheduler))
+        wf2qp = service_discrepancy_vs_gps(fig2_schedule(WF2QPlusScheduler))
+        assert wfq >= Fr(4)
+        assert wf2q <= Fr(1)
+        assert wf2qp <= Fr(1)
+
+    def test_run_fig2_collects_everything(self):
+        out = run_fig2([WFQScheduler, WF2QScheduler, WF2QPlusScheduler])
+        assert set(out) == {"GPS", "WFQ", "WF2Q", "WF2Q+"}
+        assert len(out["GPS"]) == 21
+
+
+class TestDelayScenarios:
+    """Figures 4-7 (short versions): H-WF2Q+ must beat H-WFQ on worst-case
+    delay and respect its Corollary 2 bound."""
+
+    @pytest.fixture(scope="class")
+    def traces(self):
+        out = {}
+        for policy in ("wf2qplus", "wfq"):
+            out[policy] = delay_exp.run_delay_experiment(
+                policy, scenario=1, duration=3.0)
+        return out
+
+    def test_rt1_bound_holds_for_hwf2qplus(self, traces):
+        spec = delay_exp.build_fig3_spec()
+        bound = hpfq_delay_bound(
+            spec, "RT-1", delay_exp.RT1_SIGMA, delay_exp.FIG3_LINK_RATE,
+            lambda n: delay_exp.FIG3_PACKET_LENGTH)
+        worst = traces["wf2qplus"].max_delay("RT-1")
+        assert worst <= float(bound) + 1e-9
+
+    def test_hwfq_worse_than_hwf2qplus(self, traces):
+        assert traces["wfq"].max_delay("RT-1") > \
+            1.2 * traces["wf2qplus"].max_delay("RT-1")
+
+    def test_service_lag_ranking(self, traces):
+        """Figure 5: the arrival/service curves separate under H-WFQ."""
+        lag_wfq = max_service_lag(traces["wfq"], "RT-1")
+        lag_w2q = max_service_lag(traces["wf2qplus"], "RT-1")
+        assert lag_wfq >= lag_w2q
+
+    def test_be1_continuously_backlogged(self, traces):
+        """The scenario requires BE-1 to keep N-1..N-R busy."""
+        trace = traces["wf2qplus"]
+        served = trace.bits_served("BE-1", until=3.0)
+        guaranteed = float(delay_exp.build_fig3_spec().guaranteed_rate(
+            "BE-1", delay_exp.FIG3_LINK_RATE))
+        assert served >= guaranteed * 2.5  # got >= its share over [0, 3]
+
+    @pytest.mark.parametrize("scenario", [2, 3])
+    def test_overload_scenarios_run(self, scenario):
+        trace = delay_exp.run_delay_experiment("wf2qplus", scenario,
+                                               duration=1.0)
+        assert trace.packets_served("RT-1") > 0
+        if scenario == 2:
+            assert trace.packets_served("CS-1") == 0  # CS off in scenario 2
+        else:
+            assert trace.packets_served("CS-1") > 0
+
+    def test_rt1_conforms_to_declared_envelope(self, traces):
+        """RT-1's arrivals must satisfy (sigma, r_i) or the bound test is
+        vacuous."""
+        arrivals = traces["wf2qplus"].arrivals_of("RT-1")
+        sigma = delay_exp.RT1_SIGMA
+        rho = delay_exp.RT1_GUARANTEED_RATE
+        times = [(t, length) for _f, t, length in arrivals]
+        for i in range(len(times)):
+            total = 0
+            for j in range(i, len(times)):
+                total += times[j][1]
+                assert total <= sigma + rho * (times[j][0] - times[i][0]) + 1e-6
+
+
+class TestLinkSharing:
+    """Figure 9 (short version): H-WF2Q+ tracks the H-GPS ideal."""
+
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return ls_exp.run_linksharing("wf2qplus", duration=6.0)
+
+    def test_steady_state_matches_ideal(self, trace):
+        spec = ls_exp.build_fig8_spec()
+        ideal = hierarchical_fair_rates(
+            spec, ls_exp.TCP_FLOWS + ls_exp.active_onoff(1.0),
+            ls_exp.FIG8_LINK_RATE,
+            {n: spec.guaranteed_rate(n, ls_exp.FIG8_LINK_RATE)
+             for n in ls_exp.active_onoff(1.0)})
+        for fid in ("TCP-1", "TCP-5", "TCP-8", "TCP-10", "TCP-11"):
+            measured = mean_rate(trace, fid, 2.0, 5.0)
+            assert measured == pytest.approx(float(ideal[fid]), rel=0.15), fid
+
+    def test_transition_directions_at_5s(self, trace):
+        """Paper: at t=5s TCP-5/8 gain, TCP-10/11 lose.  The window must
+        end before 5.25s, where OO-1 going idle lifts everyone."""
+        for fid, direction in (("TCP-5", +1), ("TCP-8", +1),
+                               ("TCP-10", -1), ("TCP-11", -1)):
+            before = mean_rate(trace, fid, 4.0, 5.0)
+            after = mean_rate(trace, fid, 5.02, 5.24)
+            assert (after - before) * direction > 0, (fid, before, after)
+
+    def test_tcp1_isolated_from_lower_levels(self, trace):
+        """TCP-1 sits at level 1: the t=5s reshuffle below N1 must not
+        move its bandwidth (window ends before OO-1's own 5.25s toggle)."""
+        before = mean_rate(trace, "TCP-1", 4.0, 5.0)
+        after = mean_rate(trace, "TCP-1", 5.02, 5.24)
+        assert after == pytest.approx(before, rel=0.1)
+
+    def test_onoff_sources_capped_at_their_peak(self, trace):
+        spec = ls_exp.build_fig8_spec()
+        peak = float(spec.guaranteed_rate("OO-1", ls_exp.FIG8_LINK_RATE))
+        measured = mean_rate(trace, "OO-1", 1.0, 5.0)
+        assert measured <= peak * 1.05
+
+    def test_ideal_intervals_cover_schedule(self):
+        ivals = ls_exp.ideal_intervals(10.0)
+        assert ivals[0][0] == 0.0
+        assert ivals[-1][1] == 10.0
+        for (t1, t2, _a, _d), (t3, _t4, _a2, _d2) in zip(ivals, ivals[1:]):
+            assert t2 == t3
+        # OO-2 is only active in the first interval.
+        assert "OO-2" in ivals[0][2]
+        assert all("OO-2" not in iv[2] for iv in ivals[1:])

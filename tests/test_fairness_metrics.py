@@ -1,0 +1,160 @@
+"""Tests for the fairness metrics and the remaining traffic/TCP additions."""
+
+import pytest
+
+from repro.analysis.fairness import (
+    jain_index,
+    relative_fairness_bound,
+    throughput_shares,
+)
+from repro.core.fifo import FIFOScheduler
+from repro.core.scfq import SCFQScheduler
+from repro.core.wf2qplus import WF2QPlusScheduler
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.monitor import ServiceTrace
+from repro.tcp.reno import Demux, TahoeConnection, TCPConnection
+from repro.traffic.source import CBRSource, MarkovOnOffSource
+
+
+class TestJainIndex:
+    def test_perfect_fairness(self):
+        assert jain_index([5, 5, 5]) == pytest.approx(1.0)
+
+    def test_total_unfairness_tends_to_1_over_n(self):
+        assert jain_index([1, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            jain_index([])
+        with pytest.raises(ValueError):
+            jain_index([-1, 2])
+
+    def test_all_zero_is_fair(self):
+        assert jain_index([0, 0]) == 1.0
+
+
+def run_two_flows(scheduler_cls, duration=10.0):
+    sched = scheduler_cls(1000.0)
+    sched.add_flow("a", 1)
+    sched.add_flow("b", 1)
+    sim = Simulator()
+    trace = ServiceTrace()
+    link = Link(sim, sched, trace=trace)
+    CBRSource("a", rate=600.0, packet_length=100).attach(sim, link).start()
+    CBRSource("b", rate=600.0, packet_length=100).attach(sim, link).start()
+    sim.run(until=duration)
+    return trace
+
+
+class TestThroughputShares:
+    def test_equal_split(self):
+        trace = run_two_flows(WF2QPlusScheduler)
+        shares = throughput_shares(trace, 1.0, 9.0)
+        assert shares["a"] == pytest.approx(0.5, abs=0.05)
+        assert shares["b"] == pytest.approx(0.5, abs=0.05)
+
+    def test_empty_window(self):
+        trace = run_two_flows(WF2QPlusScheduler)
+        assert throughput_shares(trace, 100.0, 101.0) == {}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            throughput_shares(ServiceTrace(), 2.0, 1.0)
+
+
+class TestRFB:
+    def test_fair_scheduler_has_small_rfb(self):
+        trace = run_two_flows(WF2QPlusScheduler)
+        rfb = relative_fairness_bound(trace, "a", "b", 500.0, 500.0)
+        # One packet of each flow normalised: 2 * 100/500 = 0.4s.
+        assert rfb <= 0.4 + 1e-6
+
+    def test_fifo_rfb_larger_than_fair(self):
+        fifo = relative_fairness_bound(
+            run_two_flows(FIFOScheduler), "a", "b", 500.0, 500.0)
+        fair = relative_fairness_bound(
+            run_two_flows(WF2QPlusScheduler), "a", "b", 500.0, 500.0)
+        assert fifo >= fair
+
+    def test_no_joint_backlog(self):
+        trace = ServiceTrace()
+        assert relative_fairness_bound(trace, "a", "b", 1.0, 1.0) == 0.0
+
+
+class TestMarkovSource:
+    def harness(self):
+        sim = Simulator()
+        sched = FIFOScheduler(10e6)
+        sched.add_flow("m", 1)
+        trace = ServiceTrace()
+        link = Link(sim, sched, trace=trace)
+        return sim, link, trace
+
+    def test_mean_rate_matches_duty_cycle(self):
+        sim, link, trace = self.harness()
+        src = MarkovOnOffSource("m", peak_rate=1e6, packet_length=1000,
+                                mean_on=0.1, mean_off=0.3, seed=5)
+        src.attach(sim, link).start()
+        sim.run(until=200.0)
+        bits = sum(length for _f, _t, length in trace.arrivals)
+        assert bits / 200.0 == pytest.approx(src.average_rate, rel=0.2)
+
+    def test_burstier_than_cbr(self):
+        """Inter-arrival gaps have both back-to-back and long-idle modes."""
+        sim, link, trace = self.harness()
+        MarkovOnOffSource("m", peak_rate=1e6, packet_length=1000,
+                          mean_on=0.05, mean_off=0.2, seed=7).attach(
+            sim, link).start()
+        sim.run(until=50.0)
+        times = [t for _f, t, _l in trace.arrivals]
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert min(gaps) <= 0.0011
+        assert max(gaps) > 0.05
+
+    def test_reproducible(self):
+        def run(seed):
+            sim, link, trace = self.harness()
+            MarkovOnOffSource("m", 1e6, 1000, 0.1, 0.1, seed=seed).attach(
+                sim, link).start()
+            sim.run(until=5.0)
+            return [t for _f, t, _l in trace.arrivals]
+        assert run(3) == run(3)
+        assert run(3) != run(4)
+
+    def test_validation(self):
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            MarkovOnOffSource("m", 0, 1000, 1, 1)
+        with pytest.raises(ConfigurationError):
+            MarkovOnOffSource("m", 1, 1000, 0, 1)
+
+
+class TestTahoe:
+    def harness(self, cls, rate=0.5e6, buffers=4):
+        sim = Simulator()
+        sched = WF2QPlusScheduler(rate)
+        sched.add_flow("t", 1)
+        sched.set_buffer_limit("t", buffers)
+        trace = ServiceTrace()
+        demux = Demux()
+        link = Link(sim, sched, receiver=demux, trace=trace)
+        conn = cls("t", mss=8192, feedback_delay=0.01)
+        conn.attach(sim, link, demux).start()
+        sim.run(until=15.0)
+        return conn, trace
+
+    def test_tahoe_never_enters_recovery(self):
+        conn, _trace = self.harness(TahoeConnection)
+        assert conn.retransmits > 0
+        assert conn.in_recovery is False
+
+    def test_tahoe_restarts_from_cwnd_one(self):
+        conn, _trace = self.harness(TahoeConnection)
+        # After losses, cwnd collapsed at least once: ssthresh recorded it.
+        assert conn.ssthresh < 64.0
+
+    def test_reno_beats_tahoe_goodput(self):
+        _reno, trace_r = self.harness(TCPConnection)
+        _tahoe, trace_t = self.harness(TahoeConnection)
+        assert trace_r.bits_served("t") >= trace_t.bits_served("t")

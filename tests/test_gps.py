@@ -1,0 +1,220 @@
+"""Tests for the exact fluid GPS simulation (eqs. 4-7, Property 1)."""
+
+from fractions import Fraction as Fr
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gps import GPSFluidSystem
+from repro.errors import ConfigurationError, DuplicateFlowError, UnknownFlowError
+
+
+def make_gps(shares, rate=Fr(1)):
+    gps = GPSFluidSystem(rate)
+    for fid, share in shares.items():
+        gps.add_flow(fid, share)
+    return gps
+
+
+class TestRegistration:
+    def test_bad_rate(self):
+        with pytest.raises(ConfigurationError):
+            GPSFluidSystem(0)
+
+    def test_duplicate(self):
+        gps = make_gps({"a": 1})
+        with pytest.raises(DuplicateFlowError):
+            gps.add_flow("a", 1)
+
+    def test_bad_share(self):
+        with pytest.raises(ConfigurationError):
+            make_gps({"a": 0})
+
+    def test_unknown_flow(self):
+        gps = make_gps({"a": 1})
+        with pytest.raises(UnknownFlowError):
+            gps.arrive("zzz", 1, 0)
+
+    def test_no_registration_while_busy(self):
+        gps = make_gps({"a": 1})
+        gps.arrive("a", 10, 0)
+        with pytest.raises(ConfigurationError):
+            gps.add_flow("b", 1)
+
+    def test_guaranteed_rate_normalises(self):
+        gps = make_gps({"a": 1, "b": 3}, rate=Fr(8))
+        assert gps.guaranteed_rate("a") == Fr(2)
+        assert gps.guaranteed_rate("b") == Fr(6)
+
+
+class TestSingleFlow:
+    def test_departure_at_line_rate(self):
+        gps = make_gps({"a": 1}, rate=Fr(10))
+        pkt = gps.arrive("a", Fr(50), Fr(0))
+        deps = gps.finish_order()
+        assert deps == [pkt]
+        assert pkt.finish_time == Fr(5)  # alone -> full link rate
+
+    def test_tags(self):
+        gps = make_gps({"a": 1}, rate=Fr(10))
+        p1 = gps.arrive("a", Fr(10), Fr(0))
+        p2 = gps.arrive("a", Fr(10), Fr(0))
+        assert p1.virtual_start == 0
+        assert p1.virtual_finish == Fr(1)
+        assert p2.virtual_start == Fr(1)
+        assert p2.virtual_finish == Fr(2)
+
+    def test_arrival_after_idle_resets_virtual_time(self):
+        gps = make_gps({"a": 1}, rate=Fr(1))
+        gps.arrive("a", Fr(1), Fr(0))
+        gps.advance(Fr(10))  # drained long ago
+        p = gps.arrive("a", Fr(1), Fr(10))
+        assert p.virtual_start == 0  # new busy period
+
+
+class TestTwoFlows:
+    def test_equal_shares_split_evenly(self):
+        gps = make_gps({"a": 1, "b": 1}, rate=Fr(2))
+        pa = gps.arrive("a", Fr(2), Fr(0))
+        pb = gps.arrive("b", Fr(2), Fr(0))
+        gps.advance(Fr(1))
+        assert gps.service_received("a") == Fr(1)
+        assert gps.service_received("b") == Fr(1)
+        deps = gps.finish_order()
+        assert {p.finish_time for p in deps} == {Fr(2)}
+        assert pa.finish_time == pb.finish_time == Fr(2)
+
+    def test_weighted_split(self):
+        gps = make_gps({"a": 3, "b": 1}, rate=Fr(4))
+        gps.arrive("a", Fr(30), Fr(0))
+        gps.arrive("b", Fr(10), Fr(0))
+        gps.advance(Fr(1))
+        assert gps.service_received("a") == Fr(3)
+        assert gps.service_received("b") == Fr(1)
+
+    def test_excess_redistributed_when_one_empties(self):
+        gps = make_gps({"a": 1, "b": 1}, rate=Fr(2))
+        gps.arrive("a", Fr(1), Fr(0))   # drains at t=1 (rate 1 each)
+        gps.arrive("b", Fr(4), Fr(0))
+        deps = gps.finish_order()
+        by_flow = {p.flow_id: p.finish_time for p in deps}
+        assert by_flow["a"] == Fr(1)
+        # b: 1 bit by t=1 (shared), then full rate 2 for remaining 3 bits.
+        assert by_flow["b"] == Fr(1) + Fr(3, 2)
+
+    def test_backlogged_flow_gets_guaranteed_rate(self):
+        """Eq. (3): W_i >= r_i (t2 - t1) while backlogged."""
+        gps = make_gps({"a": 1, "b": 9}, rate=Fr(10))
+        gps.arrive("a", Fr(100), Fr(0))
+        gps.arrive("b", Fr(100), Fr(0))
+        gps.advance(Fr(5))
+        assert gps.service_received("a") >= Fr(1) * Fr(5)
+
+    def test_late_arrival_joins_at_current_virtual_time(self):
+        gps = make_gps({"a": 1, "b": 1}, rate=Fr(2))
+        gps.arrive("a", Fr(10), Fr(0))
+        # a alone: V slope = 1/phi_a = 2 per unit time; at t=1, V=2.
+        p = gps.arrive("b", Fr(2), Fr(1))
+        assert p.virtual_start == Fr(2)
+
+
+class TestPaperFigure2:
+    """The exact GPS timeline of Section 3.1."""
+
+    def setup_method(self):
+        self.gps = GPSFluidSystem(Fr(1))
+        self.gps.add_flow(1, Fr(1, 2))
+        for j in range(2, 12):
+            self.gps.add_flow(j, Fr(1, 20))
+        for _ in range(11):
+            self.gps.arrive(1, Fr(1), Fr(0))
+        for j in range(2, 12):
+            self.gps.arrive(j, Fr(1), Fr(0))
+
+    def test_finish_times(self):
+        deps = self.gps.finish_order()
+        finish = {}
+        for p in deps:
+            finish.setdefault(p.flow_id, []).append(p.finish_time)
+        # Session 1 packet k finishes at 2k for k=1..10 and 21 for k=11.
+        assert finish[1] == [Fr(2 * k) for k in range(1, 11)] + [Fr(21)]
+        for j in range(2, 12):
+            assert finish[j] == [Fr(20)]
+
+    def test_virtual_time_slope_after_drain(self):
+        # Between t=20 and t=21 only session 1 is backlogged:
+        # slope = 1/0.5 = 2.
+        v20 = self.gps.virtual_time(Fr(20))
+        v21 = self.gps.virtual_time(Fr(21))
+        assert v21 - v20 == Fr(2)
+
+
+class TestAdvanceSemantics:
+    def test_time_backwards_rejected(self):
+        gps = make_gps({"a": 1})
+        gps.advance(5)
+        with pytest.raises(ValueError):
+            gps.advance(4)
+
+    def test_pop_departures_clears(self):
+        gps = make_gps({"a": 1}, rate=Fr(1))
+        gps.arrive("a", Fr(1), Fr(0))
+        gps.advance(Fr(2))
+        assert len(gps.pop_departures()) == 1
+        assert gps.pop_departures() == []
+
+    def test_is_backlogged(self):
+        gps = make_gps({"a": 1}, rate=Fr(1))
+        assert not gps.is_backlogged("a")
+        gps.arrive("a", Fr(2), Fr(0))
+        assert gps.is_backlogged("a", Fr(1))
+        assert not gps.is_backlogged("a", Fr(3))
+
+
+class TestConservation:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 3),            # flow index
+                st.integers(1, 50),           # length
+                st.integers(0, 100),          # arrival time step
+            ),
+            min_size=1, max_size=40,
+        )
+    )
+    def test_total_service_equals_total_arrivals(self, arrivals):
+        """After draining, every bit arrived has been served, and each
+        packet's real finish time is consistent with its virtual tag order."""
+        shares = {0: Fr(1), 1: Fr(2), 2: Fr(3), 3: Fr(4)}
+        gps = make_gps(shares, rate=Fr(5))
+        arrivals = sorted(arrivals, key=lambda a: a[2])
+        total = 0
+        for fid, length, t in arrivals:
+            gps.arrive(fid, Fr(length), Fr(t))
+            total += length
+        deps = gps.finish_order()
+        assert sum(p.length for p in deps) == total
+        served = sum(gps.service_received(fid) for fid in shares)
+        assert served == total
+        # Departures are emitted in finish-time order.
+        times = [p.finish_time for p in deps]
+        assert times == sorted(times)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.integers(1, 20), min_size=2, max_size=20),
+    )
+    def test_simultaneous_backlog_shares_exactly(self, lengths):
+        """Two flows backlogged over [0, t]: service ratio == share ratio
+        (eq. 2), checked with exact arithmetic."""
+        gps = make_gps({"a": Fr(2), "b": Fr(3)}, rate=Fr(1))
+        for L in lengths:
+            gps.arrive("a", Fr(L), Fr(0))
+            gps.arrive("b", Fr(L), Fr(0))
+        # Probe while both are certainly backlogged.
+        t = Fr(min(lengths), 2)
+        wa = gps.service_received("a", t)
+        wb = gps.service_received("b", t)
+        assert wa * 3 == wb * 2

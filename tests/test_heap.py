@@ -1,0 +1,241 @@
+"""Unit and property tests for the indexed binary heap."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dstruct.heap import IndexedHeap
+
+
+class TestBasics:
+    def test_empty(self):
+        h = IndexedHeap()
+        assert len(h) == 0
+        assert not h
+        assert "x" not in h
+
+    def test_push_peek_pop(self):
+        h = IndexedHeap()
+        h.push("a", 3)
+        h.push("b", 1)
+        h.push("c", 2)
+        assert h.peek() == ("b", 1)
+        assert h.min_key() == 1
+        assert h.pop() == ("b", 1)
+        assert h.pop() == ("c", 2)
+        assert h.pop() == ("a", 3)
+        assert not h
+
+    def test_peek_does_not_remove(self):
+        h = IndexedHeap()
+        h.push("a", 1)
+        assert h.peek_item() == "a"
+        assert len(h) == 1
+
+    def test_duplicate_push_rejected(self):
+        h = IndexedHeap()
+        h.push("a", 1)
+        with pytest.raises(ValueError):
+            h.push("a", 2)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            IndexedHeap().pop()
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(IndexError):
+            IndexedHeap().peek()
+
+    def test_contains_and_key_of(self):
+        h = IndexedHeap()
+        h.push("a", 5)
+        assert "a" in h
+        assert h.key_of("a") == 5
+        with pytest.raises(KeyError):
+            h.key_of("zzz")
+
+    def test_iteration_covers_all_items(self):
+        h = IndexedHeap()
+        for i in range(10):
+            h.push(i, 10 - i)
+        assert sorted(h) == list(range(10))
+
+
+class TestUpdate:
+    def test_decrease_key(self):
+        h = IndexedHeap()
+        h.push("a", 10)
+        h.push("b", 5)
+        h.update("a", 1)
+        assert h.pop() == ("a", 1)
+
+    def test_increase_key(self):
+        h = IndexedHeap()
+        h.push("a", 1)
+        h.push("b", 5)
+        h.update("a", 10)
+        assert h.pop() == ("b", 5)
+
+    def test_update_missing_raises(self):
+        with pytest.raises(KeyError):
+            IndexedHeap().update("a", 1)
+
+    def test_push_or_update(self):
+        h = IndexedHeap()
+        h.push_or_update("a", 5)
+        h.push_or_update("a", 2)
+        assert h.peek() == ("a", 2)
+        assert len(h) == 1
+
+
+class TestRemove:
+    def test_remove_returns_key(self):
+        h = IndexedHeap()
+        h.push("a", 7)
+        assert h.remove("a") == 7
+        assert not h
+
+    def test_remove_middle(self):
+        h = IndexedHeap()
+        for i in range(20):
+            h.push(i, i)
+        h.remove(10)
+        popped = [h.pop()[0] for _ in range(len(h))]
+        assert popped == [i for i in range(20) if i != 10]
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            IndexedHeap().remove("a")
+
+    def test_discard(self):
+        h = IndexedHeap()
+        h.push("a", 1)
+        assert h.discard("a") is True
+        assert h.discard("a") is False
+
+    def test_clear(self):
+        h = IndexedHeap()
+        for i in range(5):
+            h.push(i, i)
+        h.clear()
+        assert len(h) == 0
+        h.push(1, 1)  # reusable after clear
+        assert h.peek_item() == 1
+
+
+class TestTieBreaking:
+    def test_fifo_among_equal_keys(self):
+        h = IndexedHeap()
+        for name in "abcde":
+            h.push(name, 1)
+        assert [h.pop()[0] for _ in range(5)] == list("abcde")
+
+    def test_update_requeues_behind_ties(self):
+        h = IndexedHeap()
+        h.push("a", 1)
+        h.push("b", 2)
+        h.update("a", 2)  # refreshed: now behind b among key==2
+        assert h.pop()[0] == "b"
+        assert h.pop()[0] == "a"
+
+    def test_tuple_keys(self):
+        h = IndexedHeap()
+        h.push("a", (5, 1))
+        h.push("b", (5, 0))
+        assert h.pop()[0] == "b"
+
+
+class TestRandomized:
+    def test_heap_sort_matches_sorted(self):
+        rng = random.Random(42)
+        keys = [rng.randint(0, 1000) for _ in range(500)]
+        h = IndexedHeap()
+        for i, k in enumerate(keys):
+            h.push(i, k)
+        out = [h.pop()[1] for _ in range(len(keys))]
+        assert out == sorted(keys)
+
+    def test_invariants_after_mixed_ops(self):
+        rng = random.Random(7)
+        h = IndexedHeap()
+        live = set()
+        for step in range(2000):
+            op = rng.random()
+            if op < 0.5 or not live:
+                item = step
+                h.push(item, rng.randint(0, 100))
+                live.add(item)
+            elif op < 0.75:
+                item = rng.choice(sorted(live))
+                h.update(item, rng.randint(0, 100))
+            elif op < 0.9:
+                item = rng.choice(sorted(live))
+                h.remove(item)
+                live.discard(item)
+            else:
+                item, _k = h.pop()
+                live.discard(item)
+            if step % 100 == 0:
+                h.check_invariants()
+        h.check_invariants()
+
+
+@st.composite
+def heap_ops(draw):
+    """A sequence of (op, item, key) heap operations."""
+    n = draw(st.integers(min_value=1, max_value=60))
+    ops = []
+    for i in range(n):
+        op = draw(st.sampled_from(["push", "pop", "update", "remove"]))
+        key = draw(st.integers(min_value=-50, max_value=50))
+        ops.append((op, i, key))
+    return ops
+
+
+class TestHypothesis:
+    @settings(max_examples=200, deadline=None)
+    @given(heap_ops())
+    def test_matches_reference_model(self, ops):
+        """The heap agrees with a brute-force sorted-list model."""
+        h = IndexedHeap()
+        model = {}  # item -> (key, seq)
+        seq = 0
+        for op, item, key in ops:
+            if op == "push":
+                if item in model:
+                    continue
+                h.push(item, key)
+                model[item] = (key, seq)
+                seq += 1
+            elif op == "pop":
+                if not model:
+                    continue
+                expected = min(model.items(), key=lambda kv: kv[1])
+                got_item, got_key = h.pop()
+                assert got_item == expected[0]
+                assert got_key == expected[1][0]
+                del model[got_item]
+            elif op == "update":
+                if item not in model:
+                    continue
+                h.update(item, key)
+                model[item] = (key, seq)
+                seq += 1
+            elif op == "remove":
+                if item not in model:
+                    continue
+                assert h.remove(item) == model[item][0]
+                del model[item]
+            h.check_invariants()
+        assert len(h) == len(model)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=200))
+    def test_pop_order_is_sorted(self, keys):
+        h = IndexedHeap()
+        for i, k in enumerate(keys):
+            h.push(i, k)
+        out = [h.pop()[1] for _ in range(len(keys))]
+        assert out == sorted(keys)

@@ -1,0 +1,157 @@
+"""Tests for the fluid H-GPS simulation and hierarchical waterfilling."""
+
+from fractions import Fraction as Fr
+
+import pytest
+
+from repro.config.hierarchy_spec import HierarchySpec, leaf, node
+from repro.core.hgps import HGPSFluidSystem, hierarchical_fair_rates
+from repro.errors import HierarchyError, UnknownFlowError
+
+
+def two_level():
+    return HierarchySpec(node("root", 1, [
+        node("A", 8, [leaf("A1", 75), leaf("A2", 5)]),
+        leaf("B", 2),
+    ]))
+
+
+class TestWaterfill:
+    def test_paper_section22_example(self):
+        """Root children A (0.8) and B (0.2); A has A1 (0.75) and A2 (0.05).
+
+        With A1 idle, A2 gets all of A's 80%; once A1 is active the split
+        inside A is 75:5."""
+        spec = two_level()
+        r = hierarchical_fair_rates(spec, ["A2", "B"], 1.0)
+        assert r["A2"] == pytest.approx(0.8)
+        assert r["B"] == pytest.approx(0.2)
+        r = hierarchical_fair_rates(spec, ["A1", "A2", "B"], 1.0)
+        assert r["A1"] == pytest.approx(0.75)
+        assert r["A2"] == pytest.approx(0.05)
+        assert r["B"] == pytest.approx(0.2)
+
+    def test_single_active_gets_everything(self):
+        r = hierarchical_fair_rates(two_level(), ["A2"], 10.0)
+        assert r["A2"] == pytest.approx(10.0)
+        assert r["A1"] == 0
+        assert r["B"] == 0
+
+    def test_no_active(self):
+        r = hierarchical_fair_rates(two_level(), [], 10.0)
+        assert all(v == 0 for v in r.values())
+
+    def test_demand_capping_redistributes_to_siblings_first(self):
+        spec = HierarchySpec(node("root", 1, [
+            node("A", 1, [leaf("a1", 1), leaf("a2", 1)]),
+            leaf("b", 1),
+        ]))
+        # a1 only wants 0.1; its excess goes to a2 (same subtree), not b.
+        r = hierarchical_fair_rates(spec, ["a1", "a2", "b"], 1.0,
+                                    demands={"a1": 0.1})
+        assert r["a1"] == pytest.approx(0.1)
+        assert r["a2"] == pytest.approx(0.4)
+        assert r["b"] == pytest.approx(0.5)
+
+    def test_subtree_demand_capped_then_excess_to_siblings(self):
+        spec = HierarchySpec(node("root", 1, [
+            node("A", 1, [leaf("a1", 1), leaf("a2", 1)]),
+            leaf("b", 1),
+        ]))
+        r = hierarchical_fair_rates(spec, ["a1", "a2", "b"], 1.0,
+                                    demands={"a1": 0.1, "a2": 0.1})
+        assert r["a1"] == pytest.approx(0.1)
+        assert r["a2"] == pytest.approx(0.1)
+        assert r["b"] == pytest.approx(0.8)
+
+    def test_total_never_exceeds_capacity(self):
+        spec = two_level()
+        r = hierarchical_fair_rates(spec, ["A1", "A2", "B"], 7.0)
+        assert sum(r.values()) == pytest.approx(7.0)
+
+    def test_non_leaf_rejected(self):
+        with pytest.raises(HierarchyError):
+            hierarchical_fair_rates(two_level(), ["A"], 1.0)
+
+    def test_exact_fractions(self):
+        r = hierarchical_fair_rates(two_level(), ["A1", "A2", "B"], Fr(1))
+        assert r["A1"] == Fr(3, 4)
+        assert r["A2"] == Fr(1, 20)
+        assert r["B"] == Fr(1, 5)
+
+
+class TestFluidSystem:
+    def test_bad_rate(self):
+        with pytest.raises(HierarchyError):
+            HGPSFluidSystem(two_level(), 0)
+
+    def test_unknown_leaf(self):
+        h = HGPSFluidSystem(two_level(), 1.0)
+        with pytest.raises(UnknownFlowError):
+            h.arrive("nope", 1, 0)
+
+    def test_single_backlog_drains_at_link_rate(self):
+        h = HGPSFluidSystem(two_level(), 10.0)
+        h.arrive("A2", 20, 0.0)
+        h.advance(1.0)
+        assert h.service_received("A2") == pytest.approx(10.0)
+        assert h.backlog_of("A2") == pytest.approx(10.0)
+        h.advance(3.0)
+        assert h.is_idle
+
+    def test_hierarchical_split(self):
+        h = HGPSFluidSystem(two_level(), 1.0)
+        h.arrive("A1", 100, 0.0)
+        h.arrive("A2", 100, 0.0)
+        h.arrive("B", 100, 0.0)
+        h.advance(1.0)
+        assert h.service_received("A1") == pytest.approx(0.75)
+        assert h.service_received("A2") == pytest.approx(0.05)
+        assert h.service_received("B") == pytest.approx(0.20)
+
+    def test_excess_within_subtree_on_drain(self):
+        h = HGPSFluidSystem(two_level(), 1.0)
+        h.arrive("A1", 0.75, 0.0)  # exactly 1 second of A1 fluid
+        h.arrive("A2", 10, 0.0)
+        h.arrive("B", 10, 0.0)
+        h.advance(1.0)
+        # A1 empties at t=1; afterwards A2 inherits all of A's 0.8.
+        h.advance(2.0)
+        assert h.service_received("A2") == pytest.approx(0.05 + 0.8)
+        assert h.service_received("B") == pytest.approx(0.4)
+
+    def test_current_rates_match_waterfill(self):
+        h = HGPSFluidSystem(two_level(), 1.0)
+        h.arrive("A2", 100, 0.0)
+        h.arrive("B", 100, 0.0)
+        rates = h.current_rates()
+        ideal = hierarchical_fair_rates(two_level(), ["A2", "B"], 1.0)
+        for name in ideal:
+            assert rates[name] == pytest.approx(ideal[name])
+
+    def test_drain_serves_everything(self):
+        h = HGPSFluidSystem(two_level(), 2.0)
+        h.arrive("A1", 5, 0.0)
+        h.arrive("B", 3, 0.5)
+        h.drain()
+        assert h.is_idle
+        total = sum(h.service_received(n) for n in ("A1", "A2", "B"))
+        assert total == pytest.approx(8.0)
+
+    def test_time_backwards_rejected(self):
+        h = HGPSFluidSystem(two_level(), 1.0)
+        h.advance(2.0)
+        with pytest.raises(ValueError):
+            h.advance(1.0)
+
+    def test_wfi_zero_property(self):
+        """H-GPS has B-WFI 0: a newly backlogged leaf receives its
+        guaranteed rate immediately (Section 3.2)."""
+        h = HGPSFluidSystem(two_level(), 1.0)
+        h.arrive("A2", 100, 0.0)
+        h.arrive("B", 100, 0.0)
+        h.advance(5.0)
+        h.arrive("A1", 100, 5.0)
+        h.advance(5.0 + 1e-3)
+        got = h.service_received("A1")
+        assert got == pytest.approx(0.75 * 1e-3, rel=1e-6)

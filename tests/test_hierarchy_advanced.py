@@ -1,0 +1,172 @@
+"""Advanced H-PFQ coverage: mixed policies, deep random trees against the
+waterfill reference, and long-horizon stress."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.hierarchy_spec import HierarchySpec, leaf, node
+from repro.core.hgps import hierarchical_fair_rates
+from repro.core.hierarchy import HPFQScheduler
+from repro.core.packet import Packet
+
+RATE = 1000.0
+PKT = 10.0
+
+
+class TestMixedPolicies:
+    def spec(self):
+        return HierarchySpec(node("root", 1, [
+            node("guaranteed", 1, [leaf("rt", 3), leaf("av", 1)]),
+            node("besteffort", 1, [leaf("web", 1), leaf("bulk", 1)]),
+        ]))
+
+    def test_wf2qplus_root_wfq_leafclass(self):
+        """The paper's suggested deployment: worst-case-fair nodes where
+        delay matters, cheaper nodes where it does not."""
+        s = HPFQScheduler(self.spec(), RATE, policy="wf2qplus",
+                          policy_overrides={"besteffort": "scfq"})
+        assert s._nodes["root"].policy.name == "wf2qplus"
+        assert s._nodes["besteffort"].policy.name == "scfq"
+        for fid in ("rt", "av", "web", "bulk"):
+            for k in range(30):
+                s.enqueue(Packet(fid, PKT, seqno=k), now=0.0)
+        served = {}
+        for rec in s.drain():
+            if rec.finish_time <= 0.6:
+                served[rec.flow_id] = served.get(rec.flow_id, 0) + 1
+        # Top-level halves: guaranteed 30, besteffort 30 (within a packet);
+        # rt:av = 3:1 within the guaranteed class.
+        assert abs((served["rt"] + served["av"]) - 30) <= 1
+        assert abs(served["rt"] - 3 * served["av"]) <= 3
+
+    def test_every_policy_pairing_runs(self):
+        for top in ("wf2qplus", "wfq", "scfq", "sfq"):
+            for inner in ("wf2qplus", "wfq", "scfq", "sfq"):
+                s = HPFQScheduler(self.spec(), RATE, policy=top,
+                                  policy_overrides={"guaranteed": inner})
+                for fid in ("rt", "web"):
+                    s.enqueue(Packet(fid, PKT), now=0.0)
+                assert len(s.drain()) == 2
+
+
+def random_spec(rng, max_depth=3, max_children=3):
+    """A random tree with unique names; returns (spec, leaf names)."""
+    counter = [0]
+
+    def build(depth):
+        counter[0] += 1
+        name = f"n{counter[0]}"
+        share = rng.randint(1, 5)
+        if depth >= max_depth or rng.random() < 0.4:
+            return leaf(name, share)
+        n_children = rng.randint(1, max_children)
+        children = [build(depth + 1) for _ in range(n_children)]
+        if all(c.is_leaf for c in children) and n_children == 1:
+            return children[0]
+        return node(name, share, children)
+
+    while True:
+        children = [build(1) for _ in range(rng.randint(2, max_children))]
+        if any(True for _ in children):
+            root = node("root", 1, children)
+            spec = HierarchySpec(root)
+            if len(spec.leaf_names()) >= 2:
+                return spec
+
+
+class TestRandomTreesMatchWaterfill:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_saturated_shares_match_ideal(self, seed):
+        """All leaves saturated: windowed H-WF2Q+ service fractions match
+        the hierarchical waterfill within per-leaf packet slack."""
+        rng = random.Random(seed)
+        spec = random_spec(rng)
+        leaves = spec.leaf_names()
+        s = HPFQScheduler(spec, RATE, policy="wf2qplus")
+        n_packets = 60
+        for fid in leaves:
+            for k in range(n_packets):
+                s.enqueue(Packet(fid, PKT, seqno=k), now=0.0)
+        ideal = hierarchical_fair_rates(spec, leaves, RATE)
+        served = {fid: 0.0 for fid in leaves}
+        window = None
+        for rec in s.drain():
+            # Measure over the window before any leaf drains.
+            done = served[rec.flow_id] + rec.packet.length
+            if done >= n_packets * PKT and window is None:
+                window = rec.finish_time
+                break
+            served[rec.flow_id] = done
+        if window is None:
+            window = n_packets * len(leaves) * PKT / RATE
+        for fid in leaves:
+            expected = float(ideal[fid]) * window
+            assert served[fid] >= expected - 3 * PKT - 1e-9, (
+                seed, fid, served[fid], expected
+            )
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_random_arrivals_never_wedge(self, seed):
+        """Random enqueue/dequeue interleavings preserve all invariants."""
+        rng = random.Random(seed)
+        spec = random_spec(rng)
+        leaves = spec.leaf_names()
+        s = HPFQScheduler(spec, RATE, policy="wf2qplus")
+        t = 0.0
+        served = 0
+        sent = 0
+        for _step in range(300):
+            if rng.random() < 0.55 or s.is_empty:
+                fid = rng.choice(leaves)
+                s.enqueue(Packet(fid, PKT), now=t)
+                sent += 1
+            else:
+                rec = s.dequeue()
+                t = max(t, rec.finish_time)
+                served += 1
+            if rng.random() < 0.2:
+                t += rng.random()
+        while not s.is_empty:
+            s.dequeue()
+            served += 1
+        assert served == sent
+
+
+class TestLongHorizon:
+    def test_many_busy_periods(self):
+        spec = HierarchySpec(node("root", 1, [
+            node("a", 1, [leaf("x", 1), leaf("y", 1)]),
+            leaf("z", 1),
+        ]))
+        s = HPFQScheduler(spec, RATE, policy="wf2qplus")
+        total = 0
+        for period in range(50):
+            base = period * 10.0
+            for fid in ("x", "y", "z"):
+                for k in range(3):
+                    s.enqueue(Packet(fid, PKT), now=base)
+                    total += 1
+            while not s.is_empty:
+                s.dequeue()
+        assert s.node_service("root") == pytest.approx(total * PKT)
+
+    def test_single_leaf_subtree(self):
+        """Interior nodes with one child must pass service straight down."""
+        spec = HierarchySpec(node("root", 1, [
+            node("wrap", 1, [leaf("only", 1)]),
+            leaf("other", 1),
+        ]))
+        s = HPFQScheduler(spec, RATE, policy="wf2qplus")
+        for k in range(10):
+            s.enqueue(Packet("only", PKT, seqno=k), now=0.0)
+            s.enqueue(Packet("other", PKT, seqno=k), now=0.0)
+        served = {"only": 0, "other": 0}
+        for rec in s.drain():
+            if rec.finish_time <= 0.1:
+                served[rec.flow_id] += 1
+        assert abs(served["only"] - served["other"]) <= 1

@@ -1,0 +1,159 @@
+"""Tests for the multi-hop network substrate."""
+
+import pytest
+
+from repro.analysis.bounds import end_to_end_delay_bound
+from repro.core.wf2qplus import WF2QPlusScheduler
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.sim.network import DeliveryLog, Network
+from repro.traffic.source import CBRSource, TraceSource
+
+
+def build_chain(sim, hops, rate=1000.0, propagation=0.0):
+    net = Network(sim)
+    for h in range(hops):
+        net.add_node(f"s{h}", WF2QPlusScheduler(rate),
+                     propagation_delay=propagation)
+    return net
+
+
+class TestTopology:
+    def test_duplicate_node_rejected(self):
+        net = build_chain(Simulator(), 1)
+        with pytest.raises(ConfigurationError):
+            net.add_node("s0", WF2QPlusScheduler(1000.0))
+
+    def test_unknown_node_in_route(self):
+        net = build_chain(Simulator(), 1)
+        with pytest.raises(ConfigurationError):
+            net.add_route("f", ["nope"])
+
+    def test_empty_route_rejected(self):
+        net = build_chain(Simulator(), 1)
+        with pytest.raises(ConfigurationError):
+            net.add_route("f", [])
+
+    def test_duplicate_route_rejected(self):
+        net = build_chain(Simulator(), 1)
+        net.add_route("f", ["s0"])
+        with pytest.raises(ConfigurationError):
+            net.add_route("f", ["s0"])
+
+    def test_route_registers_flow_at_each_hop(self):
+        net = build_chain(Simulator(), 3)
+        net.add_route("f", ["s0", "s1", "s2"], share=2)
+        for h in range(3):
+            assert "f" in net.node(f"s{h}").scheduler.flow_ids
+        assert net.route_of("f") == ["s0", "s1", "s2"]
+
+    def test_per_node_share_override(self):
+        net = build_chain(Simulator(), 2)
+        net.add_node("other", WF2QPlusScheduler(1000.0))
+        net.add_route("f", ["s0", "s1"], share={"s0": 1, "s1": 5})
+        assert net.node("s1").scheduler._flows["f"].share == 5
+
+
+class TestForwarding:
+    def test_single_hop_delivery(self):
+        sim = Simulator()
+        net = build_chain(sim, 1)
+        net.add_route("f", ["s0"])
+        TraceSource("f", [0.0, 0.1], 100.0).attach(sim, net.entry("f")).start()
+        sim.run()
+        assert net.log.count("f") == 2
+        # 100 bits at 1000 bps -> 0.1s per hop.
+        assert net.log.delays("f")[0] == (0.0, pytest.approx(0.1))
+
+    def test_three_hop_delay_accumulates(self):
+        sim = Simulator()
+        net = build_chain(sim, 3, propagation=0.01)
+        net.add_route("f", ["s0", "s1", "s2"])
+        TraceSource("f", [0.0], 100.0).attach(sim, net.entry("f")).start()
+        sim.run()
+        # 3 transmissions + 3 propagations.
+        assert net.log.max_delay("f") == pytest.approx(3 * 0.1 + 3 * 0.01)
+
+    def test_flows_diverge_at_shared_hop(self):
+        sim = Simulator()
+        net = build_chain(sim, 3)
+        net.add_route("x", ["s0", "s1"])
+        net.add_route("y", ["s0", "s2"])
+        TraceSource("x", [0.0], 100.0).attach(sim, net.entry("x")).start()
+        TraceSource("y", [0.0], 100.0).attach(sim, net.entry("y")).start()
+        sim.run()
+        assert net.log.count("x") == 1
+        assert net.log.count("y") == 1
+        assert net.trace_of("s1").packets_served() == 1
+        assert net.trace_of("s2").packets_served() == 1
+        assert net.trace_of("s0").packets_served() == 2
+
+    def test_per_hop_traces(self):
+        sim = Simulator()
+        net = build_chain(sim, 2)
+        net.add_route("f", ["s0", "s1"])
+        TraceSource("f", [0.0] * 3, 100.0).attach(sim, net.entry("f")).start()
+        sim.run()
+        assert net.trace_of("s0").packets_served("f") == 3
+        assert net.trace_of("s1").packets_served("f") == 3
+
+    def test_buffer_limit_applies_per_hop(self):
+        sim = Simulator()
+        net = build_chain(sim, 1)
+        net.add_route("f", ["s0"], buffer=1)
+        TraceSource("f", [0.0] * 5, 100.0).attach(sim, net.entry("f")).start()
+        sim.run()
+        # 1 in service + 1 buffered; 3 dropped.
+        assert net.log.count("f") == 2
+        assert net.node("s0").scheduler.drops("f") == 3
+
+
+class TestEndToEndBound:
+    def test_e2e_delay_bound_formula(self):
+        bound = end_to_end_delay_bound(
+            sigma=3000, rate_i=100, l_i_max=1000,
+            hops=[(1500, 1000), (1500, 2000)], propagation=0.05)
+        expected = 3000 / 100 + 1 * 1000 / 100 + 1500 / 1000 + 1500 / 2000 + 0.05
+        assert bound == pytest.approx(expected)
+
+    def test_needs_hops(self):
+        with pytest.raises(ValueError):
+            end_to_end_delay_bound(1, 1, 1, [])
+
+    def test_measured_e2e_within_bound(self):
+        """A shaped flow crossing 3 congested WF2Q+ hops stays within the
+        Parekh-Gallager end-to-end bound."""
+        sim = Simulator()
+        rate = 1000.0
+        net = build_chain(sim, 3, rate=rate)
+        # Session under test: share 1 of 4 at each hop -> r_i = 250.
+        net.add_route("rt", ["s0", "s1", "s2"], share=1)
+        for h in range(3):
+            cross = f"cross{h}"
+            net.add_route(cross, [f"s{h}"], share=3)
+            CBRSource(cross, rate=0.9 * rate, packet_length=100.0).attach(
+                sim, net.entry(cross)).start()
+        # rt: 2-packet bursts every 1s (sigma = 2 x 100, rho = 200 < 250).
+        times = [float(b) for b in range(10) for _ in range(2)]
+        TraceSource("rt", times, 100.0).attach(sim, net.entry("rt")).start()
+        sim.run(until=14.0)
+        assert net.log.count("rt") == 20
+        bound = end_to_end_delay_bound(
+            sigma=200.0, rate_i=250.0, l_i_max=100.0,
+            hops=[(100.0, rate)] * 3)
+        assert net.log.max_delay("rt") <= bound + 1e-9
+
+
+class TestDeliveryLog:
+    def test_stats(self):
+        log = DeliveryLog()
+
+        class P:
+            flow_id = "f"
+            uid = 1
+        log.record(P, 1.0, 3.0)
+        log.record(P, 2.0, 3.5)
+        assert log.count() == 2
+        assert log.max_delay("f") == pytest.approx(2.0)
+        assert log.mean_delay("f") == pytest.approx(1.75)
+        assert log.max_delay("ghost") == 0.0

@@ -1,0 +1,226 @@
+"""Tests for VirtualClock, WRR, FFQ, and the WF2Q+ ablation variants."""
+
+from fractions import Fraction as Fr
+
+import pytest
+
+from repro.core.ablation import NoEligibilityWF2QPlus, NoFloorWF2QPlus
+from repro.core.ffq import FFQScheduler
+from repro.core.packet import Packet
+from repro.core.virtual_clock import VirtualClockScheduler
+from repro.core.wrr import WRRScheduler
+from repro.errors import ConfigurationError
+
+from tests.conftest import assert_fifo_per_flow, assert_no_overlap
+
+
+def fill(s, per_flow, length=Fr(1), now=Fr(0)):
+    for fid, n in per_flow.items():
+        for k in range(n):
+            s.enqueue(Packet(fid, length, seqno=k), now=now)
+
+
+class TestVirtualClock:
+    def make(self):
+        s = VirtualClockScheduler(Fr(4))
+        s.add_flow("a", 3)
+        s.add_flow("b", 1)
+        return s
+
+    def test_clock_paces_at_guaranteed_rate(self):
+        s = self.make()
+        s.enqueue(Packet("a", Fr(3)), now=Fr(0))
+        assert s.flow_clock("a") == Fr(1)  # L / r_a = 3/3
+        s.enqueue(Packet("a", Fr(3)), now=Fr(0))
+        assert s.flow_clock("a") == Fr(2)
+
+    def test_clock_floored_at_real_time(self):
+        s = self.make()
+        s.enqueue(Packet("a", Fr(3)), now=Fr(0))
+        s.drain()
+        # Flow idles; at t=10 the clock restarts from real time.
+        s.enqueue(Packet("a", Fr(3)), now=Fr(10))
+        assert s.flow_clock("a") == Fr(11)
+
+    def test_order_by_tag(self):
+        s = self.make()
+        fill(s, {"a": 4, "b": 2})
+        # a tags: 1/3, 2/3, 1, 4/3; b tags: 1, 2.
+        order = [r.flow_id for r in s.drain()]
+        assert order == ["a", "a", "a", "b", "a", "b"]
+
+    def test_punishes_flow_after_idle_burst_credit(self):
+        """The famous Virtual Clock pathology: a flow that overdrew while
+        alone keeps a future clock and is then starved by a newcomer."""
+        s = self.make()
+        # b alone sends 8 packets back-to-back (served at full rate 4,
+        # far above its guarantee 1): clock ends at 8.
+        for _ in range(8):
+            s.enqueue(Packet("b", Fr(1)), now=Fr(0))
+        records = [s.dequeue() for _ in range(8)]
+        assert all(r.flow_id == "b" for r in records)
+        assert s.flow_clock("b") == Fr(8)
+        # At t=2, both send; b's tags start at 8, a's near real time.
+        fill(s, {"a": 6, "b": 6}, now=Fr(2))
+        order = [r.flow_id for r in s.drain()]
+        assert order[:6] == ["a"] * 6  # b starved while "paying back"
+
+    def test_fifo_no_overlap(self):
+        s = self.make()
+        fill(s, {"a": 5, "b": 5})
+        records = s.drain()
+        assert_fifo_per_flow(records)
+        assert_no_overlap(records, Fr(4))
+
+    def test_record_tags(self):
+        s = self.make()
+        s.enqueue(Packet("a", Fr(3)), now=Fr(0))
+        rec = s.dequeue()
+        assert rec.virtual_start == Fr(0)
+        assert rec.virtual_finish == Fr(1)
+
+
+class TestWRR:
+    def make(self):
+        s = WRRScheduler(Fr(1))
+        s.add_flow("a", 2)
+        s.add_flow("b", 1)
+        return s
+
+    def test_visit_budgets(self):
+        s = self.make()
+        fill(s, {"a": 6, "b": 6})
+        order = [r.flow_id for r in s.drain()][:9]
+        assert order == ["a", "a", "b"] * 3
+
+    def test_fractional_share_rounds_up(self):
+        s = WRRScheduler(Fr(1))
+        s.add_flow("a", 2.5)
+        s.add_flow("b", 1)
+        fill(s, {"a": 6, "b": 2})
+        order = [r.flow_id for r in s.drain()][:4]
+        assert order == ["a", "a", "a", "b"]  # ceil(2.5) = 3 per visit
+
+    def test_skips_empty_flows(self):
+        s = self.make()
+        fill(s, {"b": 3})
+        assert [r.flow_id for r in s.drain()] == ["b"] * 3
+
+    def test_flow_drain_mid_visit(self):
+        s = self.make()
+        fill(s, {"a": 1, "b": 2})
+        order = [r.flow_id for r in s.drain()]
+        assert order == ["a", "b", "b"]
+
+    def test_min_share_recomputed_on_removal(self):
+        s = WRRScheduler(Fr(1))
+        s.add_flow("small", 1)
+        s.add_flow("big", 4)
+        s.remove_flow("small")
+        fill(s, {"big": 2})
+        assert len(s.drain()) == 2
+        assert s._min_share == 4
+
+    def test_fifo_per_flow(self):
+        s = self.make()
+        fill(s, {"a": 8, "b": 8})
+        assert_fifo_per_flow(s.drain())
+
+
+class TestFFQ:
+    def make(self, mtu=Fr(1)):
+        s = FFQScheduler(Fr(4), mtu=mtu)
+        s.add_flow("a", 3)
+        s.add_flow("b", 1)
+        return s
+
+    def test_bad_mtu(self):
+        with pytest.raises(ConfigurationError):
+            FFQScheduler(1, mtu=0)
+
+    def test_frame_size_uses_slowest_flow(self):
+        s = self.make()
+        # min guaranteed rate = 1 (flow b) -> frame = mtu / 1 = 1.
+        assert s.frame_size() == Fr(1)
+
+    def test_share_split(self):
+        s = self.make()
+        fill(s, {"a": 30, "b": 30})
+        served = {"a": 0, "b": 0}
+        for rec in s.drain():
+            if rec.finish_time <= Fr(8):
+                served[rec.flow_id] += 1
+        assert abs(served["a"] - 3 * served["b"]) <= 4
+
+    def test_potential_advances_and_recalibrates(self):
+        s = self.make()
+        fill(s, {"a": 8})
+        s.drain()
+        assert s.potential() > 0
+
+    def test_busy_period_reset(self):
+        s = self.make()
+        fill(s, {"a": 2})
+        s.drain()
+        s.enqueue(Packet("a", Fr(1)), now=Fr(50))
+        assert s.potential() == 0
+        assert s._flows["a"].start_tag == 0
+
+    def test_fifo_no_overlap(self):
+        s = self.make()
+        fill(s, {"a": 6, "b": 6})
+        records = s.drain()
+        assert_fifo_per_flow(records)
+        assert_no_overlap(records, Fr(4))
+
+
+class TestAblationVariants:
+    def fig2(self, cls):
+        s = cls(Fr(1))
+        s.add_flow(1, Fr(1, 2))
+        for j in range(2, 12):
+            s.add_flow(j, Fr(1, 20))
+        for _ in range(11):
+            s.enqueue(Packet(1, Fr(1)), now=Fr(0))
+        for j in range(2, 12):
+            s.enqueue(Packet(j, Fr(1)), now=Fr(0))
+        return [r.flow_id for r in s.drain()]
+
+    def test_no_eligibility_reintroduces_the_burst(self):
+        """Dropping SEFF brings back WFQ's Figure 2 pathology even with
+        the WF2Q+ virtual time."""
+        order = self.fig2(NoEligibilityWF2QPlus)
+        # Session 1 monopolises the start (at least 8 of the first 10).
+        assert sum(1 for f in order[:10] if f == 1) >= 8
+
+    def test_full_wf2qplus_interleaves(self):
+        from repro.core.wf2qplus import WF2QPlusScheduler
+        order = self.fig2(WF2QPlusScheduler)
+        assert order[0::2] == [1] * 11
+
+    def test_no_floor_still_work_conserving(self):
+        s = NoFloorWF2QPlus(Fr(1))
+        s.add_flow("a", 1)
+        s.add_flow("b", 1)
+        for k in range(10):
+            s.enqueue(Packet("a", Fr(1), seqno=k), now=Fr(0))
+        records = s.drain()
+        assert len(records) == 10
+        assert records[-1].finish_time == Fr(10)  # no idling
+
+    def test_no_floor_changes_newly_backlogged_start(self):
+        """Without the min-S arm, V lags behind a lone session's tags, so
+        a newcomer starts with a smaller tag than it would under WF2Q+."""
+        def newcomer_start(cls):
+            s = cls(Fr(2))
+            s.add_flow("a", 1)
+            s.add_flow("b", 1)
+            for _ in range(8):
+                s.enqueue(Packet("a", Fr(2)), now=Fr(0))
+            for _ in range(4):
+                s.dequeue()
+            s.enqueue(Packet("b", Fr(2)), now=s.busy_until)
+            return s._flows["b"].start_tag
+
+        from repro.core.wf2qplus import WF2QPlusScheduler
+        assert newcomer_start(NoFloorWF2QPlus) <= newcomer_start(WF2QPlusScheduler)

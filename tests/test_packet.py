@@ -1,0 +1,47 @@
+"""Tests for the Packet model."""
+
+import pytest
+
+from repro.core.packet import Packet
+
+
+def test_fields():
+    p = Packet("f", 1500, arrival_time=2.5, seqno=3, payload={"k": 1})
+    assert p.flow_id == "f"
+    assert p.length == 1500
+    assert p.arrival_time == 2.5
+    assert p.seqno == 3
+    assert p.payload == {"k": 1}
+
+
+def test_uids_unique():
+    uids = {Packet("f", 1).uid for _ in range(100)}
+    assert len(uids) == 100
+
+
+@pytest.mark.parametrize("length", [0, -5])
+def test_nonpositive_length_rejected(length):
+    with pytest.raises(ValueError):
+        Packet("f", length)
+
+
+def test_identity_equality():
+    a = Packet("f", 10)
+    b = Packet("f", 10)
+    assert a == a
+    assert a != b
+    assert hash(a) != hash(b)
+
+
+def test_usable_in_sets_and_dicts():
+    a, b = Packet("f", 10), Packet("f", 10)
+    s = {a, b}
+    assert len(s) == 2
+    d = {a: 1, b: 2}
+    assert d[a] == 1 and d[b] == 2
+
+
+def test_repr_is_informative():
+    p = Packet("voice", 512, arrival_time=1.0, seqno=7)
+    r = repr(p)
+    assert "voice" in r and "512" in r and "seq=7" in r

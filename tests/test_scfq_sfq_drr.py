@@ -1,0 +1,164 @@
+"""Tests for the low-complexity baselines: SCFQ, SFQ, and DRR."""
+
+from fractions import Fraction as Fr
+
+import pytest
+
+from repro.core.drr import DRRScheduler
+from repro.core.packet import Packet
+from repro.core.scfq import SCFQScheduler
+from repro.core.sfq import SFQScheduler
+from repro.errors import ConfigurationError
+
+from tests.conftest import assert_fifo_per_flow, assert_no_overlap
+
+
+def fill(s, per_flow, length=Fr(1)):
+    for fid, n in per_flow.items():
+        for k in range(n):
+            s.enqueue(Packet(fid, length, seqno=k), now=Fr(0))
+
+
+class TestSCFQ:
+    def make(self):
+        s = SCFQScheduler(Fr(4))
+        s.add_flow("a", 3)
+        s.add_flow("b", 1)
+        return s
+
+    def test_virtual_time_self_clocks(self):
+        s = self.make()
+        fill(s, {"a": 2, "b": 2})
+        rec = s.dequeue()
+        # V jumps to the finish tag of the packet entering service.
+        assert s.virtual_time() == rec.virtual_finish
+
+    def test_sff_by_finish_tag(self):
+        s = self.make()
+        fill(s, {"a": 4, "b": 1})
+        order = [r.flow_id for r in s.drain()]
+        # a's tags: 1/3, 2/3, 1, 4/3; b's: 1 -> a, a, a(tie reg order), b, a
+        assert order == ["a", "a", "a", "b", "a"]
+
+    def test_long_run_share(self):
+        s = self.make()
+        fill(s, {"a": 90, "b": 30})
+        served = {"a": 0, "b": 0}
+        for rec in s.drain():
+            if rec.finish_time <= Fr(30):
+                served[rec.flow_id] += 1
+        assert abs(served["a"] - 3 * served["b"]) <= 4
+
+    def test_busy_period_reset(self):
+        s = self.make()
+        fill(s, {"a": 1})
+        s.drain()
+        s.enqueue(Packet("a", Fr(1)), now=Fr(100))
+        assert s.virtual_time() == 0
+
+    def test_fifo_no_overlap(self):
+        s = self.make()
+        fill(s, {"a": 5, "b": 5})
+        records = s.drain()
+        assert_fifo_per_flow(records)
+        assert_no_overlap(records, Fr(4))
+
+
+class TestSFQ:
+    def make(self):
+        s = SFQScheduler(Fr(4))
+        s.add_flow("a", 3)
+        s.add_flow("b", 1)
+        return s
+
+    def test_orders_by_start_tag(self):
+        s = self.make()
+        fill(s, {"a": 3, "b": 2})
+        order = [r.flow_id for r in s.drain()]
+        # starts: a: 0, 1/3, 2/3; b: 0, 1.
+        assert order == ["a", "b", "a", "a", "b"]
+
+    def test_virtual_time_is_start_tag(self):
+        s = self.make()
+        fill(s, {"a": 1})
+        rec = s.dequeue()
+        assert s.virtual_time() == rec.virtual_start
+
+    def test_long_run_share(self):
+        s = self.make()
+        fill(s, {"a": 90, "b": 30})
+        served = {"a": 0, "b": 0}
+        for rec in s.drain():
+            if rec.finish_time <= Fr(30):
+                served[rec.flow_id] += 1
+        assert abs(served["a"] - 3 * served["b"]) <= 4
+
+
+class TestDRR:
+    def make(self, mtu=100):
+        s = DRRScheduler(rate=1000, mtu=mtu)
+        s.add_flow("a", 2)
+        s.add_flow("b", 1)
+        return s
+
+    def test_bad_mtu(self):
+        with pytest.raises(ConfigurationError):
+            DRRScheduler(1000, mtu=0)
+
+    def test_quantum_proportional_round(self):
+        s = self.make(mtu=100)
+        # a's quantum 200, b's 100; packets of 100 bits.
+        for k in range(6):
+            s.enqueue(Packet("a", 100, seqno=k), now=0)
+            s.enqueue(Packet("b", 100, seqno=k), now=0)
+        order = [r.flow_id for r in s.drain()][:9]
+        # Round 1: a a b, round 2: a a b ...
+        assert order == ["a", "a", "b"] * 3
+
+    def test_deficit_accumulates_for_large_packets(self):
+        s = DRRScheduler(rate=1000, mtu=100)
+        s.add_flow("big", 1)
+        s.add_flow("small", 1)
+        s.enqueue(Packet("big", 250), now=0)   # needs 3 rounds of 100
+        for k in range(3):
+            s.enqueue(Packet("small", 100, seqno=k), now=0)
+        order = [r.flow_id for r in s.drain()]
+        # big cannot send until its deficit reaches 250.
+        assert order == ["small", "small", "big", "small"]
+
+    def test_deficit_reset_when_queue_empties(self):
+        s = self.make(mtu=100)
+        s.enqueue(Packet("a", 50), now=0)
+        s.dequeue()
+        assert s.deficit_of("a") == 0
+
+    def test_fifo_per_flow(self):
+        s = self.make()
+        for k in range(10):
+            s.enqueue(Packet("a", 60, seqno=k), now=0)
+            s.enqueue(Packet("b", 90, seqno=k), now=0)
+        assert_fifo_per_flow(s.drain())
+
+    def test_long_run_bytes_follow_quanta(self):
+        s = self.make(mtu=100)
+        for k in range(100):
+            s.enqueue(Packet("a", 100, seqno=k), now=0)
+            s.enqueue(Packet("b", 100, seqno=k), now=0)
+        bits = {"a": 0, "b": 0}
+        count = 0
+        for rec in s.drain():
+            if count >= 90:
+                break
+            bits[rec.flow_id] += rec.packet.length
+            count += 1
+        assert bits["a"] == pytest.approx(2 * bits["b"], rel=0.1)
+
+    def test_removed_flow_share_recached(self):
+        s = DRRScheduler(1000, mtu=100)
+        s.add_flow("tiny", 1)
+        s.add_flow("big", 10)
+        s.remove_flow("tiny")
+        # min share is now 10 -> big's quantum is one MTU.
+        s.enqueue(Packet("big", 100), now=0)
+        assert s.dequeue().flow_id == "big"
+        assert s._min_share == 10

@@ -1,0 +1,126 @@
+"""Tests for the discrete-event simulator core."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        sim = Simulator()
+        out = []
+        sim.schedule(2.0, out.append, "b")
+        sim.schedule(1.0, out.append, "a")
+        sim.schedule(3.0, out.append, "c")
+        sim.run()
+        assert out == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_priority_orders_simultaneous_events(self):
+        sim = Simulator()
+        out = []
+        sim.schedule(1.0, out.append, "late", priority=1)
+        sim.schedule(1.0, out.append, "early", priority=-1)
+        sim.schedule(1.0, out.append, "mid")
+        sim.run()
+        assert out == ["early", "mid", "late"]
+
+    def test_fifo_among_equal_time_and_priority(self):
+        sim = Simulator()
+        out = []
+        for name in "abc":
+            sim.schedule(1.0, out.append, name)
+        sim.run()
+        assert out == ["a", "b", "c"]
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule(4.0, lambda: None)
+
+    def test_schedule_in(self):
+        sim = Simulator()
+        out = []
+        sim.schedule(1.0, lambda: sim.schedule_in(0.5, lambda: out.append(sim.now)))
+        sim.run()
+        assert out == [1.5]
+        with pytest.raises(SimulationError):
+            sim.schedule_in(-1, lambda: None)
+
+
+class TestRun:
+    def test_until_stops_and_advances_clock(self):
+        sim = Simulator()
+        out = []
+        sim.schedule(1.0, out.append, 1)
+        sim.schedule(5.0, out.append, 5)
+        sim.run(until=3.0)
+        assert out == [1]
+        assert sim.now == 3.0
+        sim.run()
+        assert out == [1, 5]
+
+    def test_max_events(self):
+        sim = Simulator()
+        out = []
+        for i in range(10):
+            sim.schedule(float(i), out.append, i)
+        sim.run(max_events=3)
+        assert out == [0, 1, 2]
+
+    def test_callbacks_can_chain(self):
+        sim = Simulator()
+        out = []
+
+        def tick(n):
+            out.append(n)
+            if n < 5:
+                sim.schedule_in(1.0, tick, n + 1)
+
+        sim.schedule(0.0, tick, 0)
+        sim.run()
+        assert out == [0, 1, 2, 3, 4, 5]
+        assert sim.events_processed == 6
+
+    def test_not_reentrant(self):
+        sim = Simulator()
+
+        def bad():
+            sim.run()
+
+        sim.schedule(0.0, bad)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        out = []
+        ev = sim.schedule(1.0, out.append, "x")
+        sim.schedule(2.0, out.append, "y")
+        ev.cancel()
+        sim.run()
+        assert out == ["y"]
+
+    def test_cancel_inside_callback(self):
+        sim = Simulator()
+        out = []
+        later = sim.schedule(2.0, out.append, "later")
+        sim.schedule(1.0, later.cancel)
+        sim.run()
+        assert out == []
+
+    def test_step(self):
+        sim = Simulator()
+        out = []
+        sim.schedule(1.0, out.append, 1)
+        sim.schedule(2.0, out.append, 2)
+        ev = sim.step()
+        assert out == [1]
+        assert ev.time == 1.0
+        sim.step()
+        assert sim.step() is None

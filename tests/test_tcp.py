@@ -1,0 +1,153 @@
+"""Tests for the TCP Reno model."""
+
+import pytest
+
+from repro.core.wf2qplus import WF2QPlusScheduler
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.monitor import ServiceTrace
+from repro.tcp.reno import Demux, TCPConnection
+
+
+def harness(rate=1_000_000.0, flows=("t",), buffers=None, mss=8192,
+            feedback=0.01):
+    sim = Simulator()
+    sched = WF2QPlusScheduler(rate)
+    trace = ServiceTrace()
+    demux = Demux()
+    link = Link(sim, sched, receiver=demux, trace=trace)
+    conns = {}
+    for fid in flows:
+        sched.add_flow(fid, 1)
+        if buffers:
+            sched.set_buffer_limit(fid, buffers)
+        conns[fid] = TCPConnection(fid, mss=mss, feedback_delay=feedback)
+        conns[fid].attach(sim, link, demux).start()
+    return sim, sched, link, trace, conns
+
+
+class TestDemux:
+    def test_routes_by_flow(self):
+        d = Demux()
+        got = []
+        d.register("a", lambda p, t: got.append(("a", t)))
+
+        class P:
+            flow_id = "a"
+        d(P, 1.0)
+        assert got == [("a", 1.0)]
+
+    def test_unrouted_counted(self):
+        d = Demux()
+
+        class P:
+            flow_id = "zzz"
+        d(P, 1.0)
+        assert d.unrouted == 1
+
+
+class TestValidation:
+    def test_bad_mss(self):
+        with pytest.raises(ConfigurationError):
+            TCPConnection("t", mss=0, feedback_delay=0.01)
+
+    def test_bad_feedback(self):
+        with pytest.raises(ConfigurationError):
+            TCPConnection("t", mss=100, feedback_delay=-1)
+
+    def test_start_requires_attach(self):
+        with pytest.raises(ConfigurationError):
+            TCPConnection("t", mss=100, feedback_delay=0.01).start()
+
+
+class TestSlowStartAndGrowth:
+    def test_cwnd_doubles_per_rtt_initially(self):
+        sim, _s, _l, _tr, conns = harness(rate=100e6)
+        c = conns["t"]
+        assert c.cwnd == 2.0
+        sim.run(until=0.05)  # a few RTTs at ~10ms feedback
+        assert c.cwnd > 8
+
+    def test_goodput_fills_uncontended_link(self):
+        sim, _s, link, trace, conns = harness(rate=1e6, buffers=20)
+        sim.run(until=10.0)
+        bits = trace.bits_served("t", until=10.0)
+        assert bits / 10.0 >= 0.85e6  # >= 85% of the link
+
+    def test_receiver_reassembles_in_order(self):
+        sim, _s, _l, _tr, conns = harness(rate=1e6, buffers=10)
+        sim.run(until=5.0)
+        c = conns["t"]
+        # The receiver's contiguous prefix is never behind the sender's
+        # acked view (ACKs in flight can make it run ahead).
+        assert c.rcv_next >= c.una
+        assert c.acked > 100
+
+
+class TestLossRecovery:
+    def test_fast_retransmit_on_drops(self):
+        sim, sched, _l, _tr, conns = harness(rate=0.5e6, buffers=4)
+        sim.run(until=10.0)
+        c = conns["t"]
+        assert sched.drops("t") > 0, "tiny buffer must overflow"
+        assert c.retransmits > 0
+        # Fast recovery (not timeout) should dominate.
+        assert c.timeouts <= c.retransmits
+
+    def test_ssthresh_falls_after_loss(self):
+        sim, _s, _l, _tr, conns = harness(rate=0.5e6, buffers=4)
+        sim.run(until=10.0)
+        assert conns["t"].ssthresh < 64.0
+
+    def test_connection_survives_heavy_loss(self):
+        sim, sched, _l, trace, conns = harness(rate=0.2e6, buffers=2)
+        sim.run(until=20.0)
+        c = conns["t"]
+        # Despite losses the contiguous prefix keeps advancing.
+        assert c.una > 100
+        assert sched.drops("t") > 5
+
+    def test_max_cwnd_cap(self):
+        sim = Simulator()
+        sched = WF2QPlusScheduler(100e6)
+        sched.add_flow("t", 1)
+        demux = Demux()
+        link = Link(sim, sched, receiver=demux)
+        c = TCPConnection("t", mss=8192, feedback_delay=0.01, max_cwnd=4)
+        c.attach(sim, link, demux).start()
+        sim.run(until=1.0)
+        assert c.next_seq - c.una <= 4
+
+
+class TestSharing:
+    def test_two_tcps_split_fairly(self):
+        sim, _s, _l, trace, conns = harness(
+            rate=1e6, flows=("t1", "t2"), buffers=10)
+        sim.run(until=20.0)
+        b1 = trace.bits_served("t1")
+        b2 = trace.bits_served("t2")
+        assert b1 / b2 == pytest.approx(1.0, rel=0.2)
+
+    def test_weighted_split(self):
+        sim = Simulator()
+        sched = WF2QPlusScheduler(1e6)
+        trace = ServiceTrace()
+        demux = Demux()
+        link = Link(sim, sched, receiver=demux, trace=trace)
+        for fid, share in (("a", 3), ("b", 1)):
+            sched.add_flow(fid, share)
+            sched.set_buffer_limit(fid, 10)
+            TCPConnection(fid, mss=8192, feedback_delay=0.01).attach(
+                sim, link, demux).start()
+        sim.run(until=20.0)
+        ratio = trace.bits_served("a") / trace.bits_served("b")
+        assert ratio == pytest.approx(3.0, rel=0.25)
+
+    def test_rtt_estimation_converges(self):
+        sim, _s, _l, _tr, conns = harness(rate=1e6, buffers=10)
+        sim.run(until=5.0)
+        c = conns["t"]
+        assert c.srtt is not None
+        assert c.srtt > c.feedback_delay  # includes queueing + transmission
+        assert c.rto >= c.min_rto

@@ -1,0 +1,35 @@
+"""Tests for the unit helpers."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import units
+
+
+def test_rate_helpers():
+    assert units.kbps(5) == 5_000
+    assert units.mbps(10) == 10_000_000
+    assert units.gbps(1) == 1_000_000_000
+
+
+def test_size_helpers():
+    assert units.bytes_(100) == 800
+    assert units.kilobytes(8) == 8 * 1024 * 8
+
+
+def test_time_helpers():
+    assert units.ms(250) == 0.25
+    assert units.us(1500) == pytest.approx(0.0015)
+
+
+def test_transmission_time():
+    assert units.transmission_time(1_000_000, units.mbps(1)) == 1.0
+    with pytest.raises(ValueError):
+        units.transmission_time(1000, 0)
+
+
+def test_composes_with_fractions():
+    t = units.transmission_time(Fraction(1), Fraction(3))
+    assert t == Fraction(1, 3)
+    assert units.mbps(Fraction(1, 2)) == 500_000

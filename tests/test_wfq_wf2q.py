@@ -1,0 +1,126 @@
+"""Tests for WFQ and WF2Q (the exact-GPS-tag schedulers)."""
+
+from fractions import Fraction as Fr
+
+import pytest
+
+from repro.core.packet import Packet
+from repro.core.wf2q import WF2QScheduler
+from repro.core.wfq import WFQScheduler
+from repro.experiments.fig2 import (
+    fig2_gps_departures,
+    fig2_schedule,
+    service_discrepancy_vs_gps,
+)
+
+from tests.conftest import assert_fifo_per_flow, assert_no_overlap
+
+
+def make(cls, shares, rate=Fr(1)):
+    s = cls(rate)
+    for fid, share in shares.items():
+        s.add_flow(fid, share)
+    return s
+
+
+class TestWFQ:
+    def test_single_flow_fifo(self):
+        s = make(WFQScheduler, {"a": 1})
+        for k in range(5):
+            s.enqueue(Packet("a", Fr(1), seqno=k), now=Fr(0))
+        assert [r.packet.seqno for r in s.drain()] == list(range(5))
+
+    def test_sff_order(self):
+        """Smallest GPS virtual finish first."""
+        s = make(WFQScheduler, {"a": 3, "b": 1}, rate=Fr(4))
+        s.enqueue(Packet("a", Fr(3)), now=Fr(0))  # F = 1
+        s.enqueue(Packet("b", Fr(2)), now=Fr(0))  # F = 2
+        assert s.dequeue().flow_id == "a"
+        assert s.dequeue().flow_id == "b"
+
+    def test_wfq_serves_burst_back_to_back(self):
+        """Figure 2: ten session-1 packets run ahead under WFQ."""
+        order = [fid for fid, _s, _f in fig2_schedule(WFQScheduler)]
+        assert order[:10] == [1] * 10
+        assert order[-1] == 1  # p_1^11 is punished to the very end
+        assert sorted(order[10:20]) == list(range(2, 12))
+
+    def test_wfq_discrepancy_is_many_packets(self):
+        schedule = fig2_schedule(WFQScheduler)
+        assert service_discrepancy_vs_gps(schedule) >= Fr(4)
+
+    def test_records_have_gps_tags(self):
+        s = make(WFQScheduler, {"a": 1, "b": 1}, rate=Fr(2))
+        s.enqueue(Packet("a", Fr(2)), now=Fr(0))
+        rec = s.dequeue()
+        assert rec.virtual_start == 0
+        assert rec.virtual_finish == Fr(2)
+
+    def test_gps_view_exposed(self):
+        s = make(WFQScheduler, {"a": 1}, rate=Fr(1))
+        s.enqueue(Packet("a", Fr(1)), now=Fr(0))
+        assert s.gps_virtual_time(Fr(0)) == 0
+        assert s.gps.is_backlogged("a")
+
+
+class TestWF2Q:
+    def test_seff_interleaves_fig2(self):
+        order = [fid for fid, _s, _f in fig2_schedule(WF2QScheduler)]
+        assert order == [1, 2, 1, 3, 1, 4, 1, 5, 1, 6, 1, 7, 1, 8,
+                         1, 9, 1, 10, 1, 11, 1]
+
+    def test_wf2q_discrepancy_below_one_packet(self):
+        """Section 3.3: WF2Q never differs from GPS by a full packet."""
+        schedule = fig2_schedule(WF2QScheduler)
+        assert service_discrepancy_vs_gps(schedule) <= Fr(1)
+
+    def test_eligibility_defers_early_start(self):
+        s = make(WF2QScheduler, {1: Fr(1, 2), 2: Fr(1, 4), 3: Fr(1, 4)})
+        s.enqueue(Packet(1, Fr(1)), now=Fr(0))
+        s.enqueue(Packet(1, Fr(1)), now=Fr(0))
+        s.enqueue(Packet(2, Fr(1)), now=Fr(0))
+        s.enqueue(Packet(3, Fr(1)), now=Fr(0))
+        assert s.dequeue().flow_id == 1
+        # p_1^2 has S=2 in GPS; at t=1 V_GPS=1 so it is ineligible.
+        assert s.dequeue().flow_id == 2
+
+    def test_fifo_and_no_overlap(self):
+        s = make(WF2QScheduler, {"a": 1, "b": 2}, rate=Fr(3))
+        for k in range(6):
+            s.enqueue(Packet("a", Fr(1), seqno=k), now=Fr(0))
+            s.enqueue(Packet("b", Fr(1), seqno=k), now=Fr(0))
+        records = s.drain()
+        assert_fifo_per_flow(records)
+        assert_no_overlap(records, Fr(3))
+
+
+class TestAgainstGPSTimeline:
+    def test_gps_departures_match_paper(self):
+        deps = fig2_gps_departures()
+        finish = {}
+        for fid, t in deps:
+            finish.setdefault(fid, []).append(t)
+        assert finish[1][:10] == [Fr(2 * k) for k in range(1, 11)]
+        assert finish[1][10] == Fr(21)
+        for j in range(2, 12):
+            assert finish[j] == [Fr(20)]
+
+    @pytest.mark.parametrize("cls", [WFQScheduler, WF2QScheduler])
+    def test_total_completion_time_equals_gps(self, cls):
+        """Both packet systems finish all 21 packets at t=21 (work
+        conservation ties the busy periods together)."""
+        schedule = fig2_schedule(cls)
+        assert schedule[-1][2] == Fr(21)
+
+    @pytest.mark.parametrize("cls", [WFQScheduler, WF2QScheduler])
+    def test_delay_within_one_packet_of_gps(self, cls):
+        """Per-packet: packet-system finish <= GPS finish + Lmax/r for the
+        tagged packets (the classic PGPS bound)."""
+        gps_finish = {}
+        for fid, t in fig2_gps_departures():
+            gps_finish.setdefault(fid, []).append(t)
+        seen = {}
+        for fid, _start, finish in fig2_schedule(cls):
+            idx = seen.get(fid, 0)
+            seen[fid] = idx + 1
+            assert finish <= gps_finish[fid][idx] + Fr(1)
