@@ -51,6 +51,7 @@ from repro.errors import (
     ConfigurationError,
     EmptySchedulerError,
     HierarchyError,
+    InvariantViolation,
     ReproError,
     SchedulerError,
     SimulationError,
@@ -92,6 +93,7 @@ __all__ = [
     "UnknownFlowError",
     "EmptySchedulerError",
     "HierarchyError",
+    "InvariantViolation",
     "SimulationError",
     "__version__",
 ]

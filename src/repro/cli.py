@@ -6,15 +6,142 @@ Usage (also via ``python -m repro``)::
     python -m repro delay --scenario 1 --policy wfq --duration 6
     python -m repro linksharing --duration 10
     python -m repro bounds
+    python -m repro stats --scheduler wf2qplus --flows 64 \
+        --trace out.jsonl --check
 
 Each subcommand prints a compact text report; the benchmarks in
 ``benchmarks/`` remain the canonical figure-regeneration path (they also
-persist the raw series).
+persist the raw series).  ``stats`` is the observability entry point: it
+drives a saturated churn workload through any scheduler in the zoo with
+wall-clock profiling and per-flow metrics attached, optionally writing a
+JSONL event trace (``--trace``) and/or running the full invariant checker
+(``--check``).
 """
 
 import argparse
 
 __all__ = ["main", "build_parser"]
+
+
+def _stats_registry():
+    """name -> scheduler factory for the ``stats`` subcommand."""
+    from repro.config import leaf, node
+    from repro.core import (
+        DRRScheduler,
+        FFQScheduler,
+        FIFOScheduler,
+        HPFQScheduler,
+        SCFQScheduler,
+        SFQScheduler,
+        VirtualClockScheduler,
+        WF2QPlusScheduler,
+        WF2QScheduler,
+        WFQScheduler,
+        WRRScheduler,
+    )
+
+    def make_hier(policy):
+        def build(rate, n_flows):
+            # Balanced two-level tree: groups of up to 8 leaves.
+            groups, chunk = [], 8
+            for g in range(0, n_flows, chunk):
+                leaves = [leaf(str(i), 1 + (i % 3))
+                          for i in range(g, min(g + chunk, n_flows))]
+                groups.append(node(f"g{g // chunk}", len(leaves), leaves))
+            return HPFQScheduler(node("root", 1, groups), rate,
+                                 policy=policy)
+        return build
+
+    def make_flat(cls):
+        def build(rate, n_flows):
+            sched = cls(rate)
+            for i in range(n_flows):
+                sched.add_flow(str(i), 1 + (i % 3))
+            return sched
+        return build
+
+    registry = {
+        "fifo": make_flat(FIFOScheduler),
+        "wrr": make_flat(WRRScheduler),
+        "drr": make_flat(DRRScheduler),
+        "scfq": make_flat(SCFQScheduler),
+        "sfq": make_flat(SFQScheduler),
+        "vclock": make_flat(VirtualClockScheduler),
+        "ffq": make_flat(FFQScheduler),
+        "wfq": make_flat(WFQScheduler),
+        "wf2q": make_flat(WF2QScheduler),
+        "wf2qplus": make_flat(WF2QPlusScheduler),
+        "hwf2qplus": make_hier("wf2qplus"),
+        "hwfq": make_hier("wfq"),
+    }
+    return registry
+
+
+STATS_SCHEDULERS = ("fifo", "wrr", "drr", "scfq", "sfq", "vclock", "ffq",
+                    "wfq", "wf2q", "wf2qplus", "hwf2qplus", "hwfq")
+
+
+def _positive_int(text):
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _cmd_stats(args):
+    from repro.core.packet import Packet
+    from repro.obs import (
+        InvariantChecker,
+        JSONLSink,
+        MetricsSink,
+        SchedulerProfiler,
+    )
+
+    sched = _stats_registry()[args.scheduler](args.rate, args.flows)
+    metrics = MetricsSink()
+    sinks = [metrics]
+    jsonl = None
+    if args.trace:
+        try:
+            jsonl = JSONLSink(args.trace)
+        except OSError as exc:
+            print(f"repro stats: cannot open trace file: {exc}")
+            return 2
+        sinks.append(jsonl)
+    checker = None
+    if args.check:
+        checker = InvariantChecker()
+        sinks.append(checker)
+    sched.attach_observer(*sinks)
+    profiler = SchedulerProfiler(sched)
+
+    # Saturated churn: every flow stays backlogged; one enqueue + one
+    # dequeue per transmitted packet (the complexity benchmark's workload).
+    for i in range(args.flows):
+        sched.enqueue(Packet(str(i), args.length), now=0.0)
+        sched.enqueue(Packet(str(i), args.length), now=0.0)
+    for _ in range(args.packets):
+        rec = sched.dequeue()
+        sched.enqueue(Packet(rec.flow_id, args.length),
+                      now=rec.finish_time)
+    while not sched.is_empty:
+        sched.dequeue()
+
+    profiler.detach()
+    print(f"repro stats — {sched.name}, {args.flows} flows, "
+          f"{args.packets} churned packets, {args.rate:g} bps")
+    print()
+    print(profiler.format_report())
+    print()
+    print(metrics.format_report())
+    if checker is not None:
+        print()
+        print(f"invariants: OK ({checker.events_checked} events checked, "
+              f"monotonic V + SEFF + backlog + tags)")
+    if jsonl is not None:
+        jsonl.close()
+        print(f"trace: wrote {jsonl.events_written} events to {jsonl.path}")
+    return 0
 
 
 def _cmd_fig2(args):
@@ -144,6 +271,24 @@ def build_parser():
 
     sub.add_parser("bounds", help="print the closed-form bounds"
                    ).set_defaults(func=_cmd_bounds)
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="profile a scheduler's hot path with metrics/trace/invariants")
+    p_stats.add_argument("--scheduler", default="wf2qplus",
+                         choices=STATS_SCHEDULERS)
+    p_stats.add_argument("--flows", type=_positive_int, default=64)
+    p_stats.add_argument("--packets", type=_positive_int, default=20000,
+                         help="churned packets after the warm-up fill")
+    p_stats.add_argument("--length", type=float, default=8000.0,
+                         help="packet length in bits")
+    p_stats.add_argument("--rate", type=float, default=1e9,
+                         help="link rate in bits per second")
+    p_stats.add_argument("--trace", metavar="OUT.JSONL", default=None,
+                         help="write the full event stream as JSON lines")
+    p_stats.add_argument("--check", action="store_true",
+                         help="run the invariant checker on every event")
+    p_stats.set_defaults(func=_cmd_stats)
     return parser
 
 

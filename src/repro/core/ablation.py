@@ -29,6 +29,9 @@ class NoEligibilityWF2QPlus(WF2QPlusScheduler):
     """WF2Q+ virtual time, SFF selection (ablates the eligibility test)."""
 
     name = "WF2Q+[no-SEFF]"
+    # The whole point of this ablation is serving ineligible packets; don't
+    # claim SEFF to the invariant checker.
+    seff = False
 
     def _select_flow(self, now):
         self._advance_virtual(now)
@@ -53,6 +56,9 @@ class NoFloorWF2QPlus(WF2QPlusScheduler):
     """SEFF selection, slope-1-only virtual time (ablates the min-S arm)."""
 
     name = "WF2Q+[no-floor]"
+    # Without the floor the work-conserving fallback can legitimately serve
+    # an ineligible packet, so the SEFF claim does not hold here either.
+    seff = False
 
     def _advance_virtual(self, now, floor=True):
         super()._advance_virtual(now, floor=False)

@@ -45,6 +45,7 @@ from repro.config.hierarchy_spec import HierarchySpec, NodeSpec
 from repro.core.scheduler import PacketScheduler, ScheduledPacket
 from repro.dstruct.heap import IndexedHeap
 from repro.errors import ConfigurationError, HierarchyError
+from repro.obs.events import NodeRestart, VirtualTimeUpdate
 
 __all__ = [
     "HPFQScheduler",
@@ -397,6 +398,25 @@ class HPFQScheduler(PacketScheduler):
         """r_i of a node or leaf: its phi-fraction of the link rate."""
         return self._nodes[flow_id].rate
 
+    def system_virtual_time(self, now=None):
+        """The root node's virtual time (the hierarchy-wide clock)."""
+        return self._root.virtual
+
+    # ------------------------------------------------------------------
+    # Observability (emission sites are guarded by the callers)
+    # ------------------------------------------------------------------
+    def _emit_head(self, node, child_name=None):
+        """Emit a NodeRestart for a node that just adopted a head packet."""
+        if node.parent is not None:
+            start, finish = node.start_tag, node.finish_tag
+            rate = node.rate
+        else:
+            start = finish = rate = None  # the root has no logical queue
+        self._obs.emit(NodeRestart(
+            self._clock, self.name, node.name, child_name, start, finish,
+            None if node.is_leaf else node.virtual,
+            node.head.length if node.head is not None else None, rate))
+
     # ------------------------------------------------------------------
     # ARRIVE
     # ------------------------------------------------------------------
@@ -422,6 +442,8 @@ class HPFQScheduler(PacketScheduler):
         leaf.start_tag = max(leaf.finish_tag, parent.virtual)
         leaf.finish_tag = leaf.start_tag + packet.length / leaf.rate
         parent.policy.child_head_set(leaf)
+        if self._obs is not None:
+            self._emit_head(leaf)
         if not parent.busy:
             self._restart(parent)
 
@@ -443,6 +465,10 @@ class HPFQScheduler(PacketScheduler):
                 node.finish_tag = node.start_tag + length / node.rate
             node.busy = True
             node.policy.on_select(child, length)
+            if self._obs is not None:
+                self._emit_head(node, child.name)
+                self._obs.emit(VirtualTimeUpdate(
+                    self._clock, self.name, node.name, node.virtual))
             if parent is not None:
                 parent.policy.child_head_set(node)
                 if parent.head is None:
@@ -470,6 +496,8 @@ class HPFQScheduler(PacketScheduler):
                 node.start_tag = node.finish_tag
                 node.finish_tag = node.start_tag + head.length / node.rate
                 parent.policy.child_head_set(node)
+                if self._obs is not None:
+                    self._emit_head(node)
             else:
                 parent.policy.child_head_cleared(node)
             self._restart(parent)
@@ -502,6 +530,12 @@ class HPFQScheduler(PacketScheduler):
             node_obj.active_child = None
             if node_obj.policy is not None:
                 node_obj.policy.reset()
+        if self._obs is not None:
+            for node_obj in self._nodes.values():
+                if not node_obj.is_leaf:
+                    self._obs.emit(VirtualTimeUpdate(
+                        self._clock, self.name, node_obj.name, 0,
+                        reset=True))
 
     # ------------------------------------------------------------------
     # Dequeue integration with the PacketScheduler template

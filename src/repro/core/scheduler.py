@@ -33,6 +33,7 @@ from repro.errors import (
     EmptySchedulerError,
     UnknownFlowError,
 )
+from repro.obs.events import DequeueEvent, DropEvent, EnqueueEvent, EventBus
 
 __all__ = ["PacketScheduler", "ScheduledPacket", "FlowState"]
 
@@ -119,9 +120,18 @@ class PacketScheduler:
     #: Human-readable algorithm name, overridden by subclasses.
     name = "abstract"
 
+    #: True for schedulers whose selection policy is Smallest Eligible
+    #: virtual Finish time First (WF2Q, WF2Q+); the invariant checker
+    #: verifies eligibility on every dequeue of such schedulers.
+    seff = False
+
     def __init__(self, rate):
         if rate <= 0:
             raise ConfigurationError(f"link rate must be positive, got {rate!r}")
+        #: The attached :class:`~repro.obs.events.EventBus`, or ``None``.
+        #: An instance attribute (not a class default) so the hot-path
+        #: guard is a single instance-dict hit resolving to this None.
+        self._obs = None
         self.rate = rate
         self._flows = {}
         self._next_flow_index = 0
@@ -166,6 +176,13 @@ class PacketScheduler:
         self._on_flow_removed(state)
         del self._flows[flow_id]
         self._total_share -= state.share
+        if not self._flows:
+            self._total_share = 0  # kill float residue from +=/-= churn
+        # Per-flow policy state must not leak to a future flow that happens
+        # to reuse the id: a stale buffer cap would silently throttle it and
+        # a stale drop counter would misattribute losses.
+        self._buffer_limits.pop(flow_id, None)
+        self._drops.pop(flow_id, None)
 
     def _flow(self, flow_id):
         try:
@@ -214,14 +231,71 @@ class PacketScheduler:
         """Flow ids with at least one queued packet."""
         return [fid for fid, st in self._flows.items() if st.queue]
 
+    def _require_shares(self, flow_id):
+        """The flow's state, or ConfigurationError when no share exists."""
+        if not self._flows or self._total_share <= 0:
+            raise ConfigurationError(
+                f"{self.name}: no registered flows with positive total "
+                f"share; cannot compute a rate/share for {flow_id!r} "
+                f"(all flows removed?)"
+            )
+        return self._flow(flow_id)
+
     def guaranteed_rate(self, flow_id):
         """Absolute guaranteed rate r_i = share_i / total_share * rate."""
-        state = self._flow(flow_id)
+        state = self._require_shares(flow_id)
         return state.share / self._total_share * self.rate
 
     def normalized_share(self, flow_id):
-        state = self._flow(flow_id)
+        state = self._require_shares(flow_id)
         return state.share / self._total_share
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @property
+    def observer(self):
+        """The attached :class:`~repro.obs.events.EventBus`, or ``None``."""
+        return self._obs
+
+    def attach_observer(self, *sinks):
+        """Subscribe sinks to this scheduler's event stream.
+
+        Creates the :class:`~repro.obs.events.EventBus` on first use and
+        returns it.  With a bus attached, every enqueue/dequeue/drop (and,
+        for tag-based schedulers, virtual-time and hierarchy-node updates)
+        emits a typed event; with none attached the emission sites reduce
+        to a single ``is None`` test.
+        """
+        if self._obs is None:
+            self._obs = EventBus()
+        for sink in sinks:
+            self._obs.subscribe(sink)
+        return self._obs
+
+    def detach_observer(self, sink=None):
+        """Remove one sink (or all, when ``sink`` is None).
+
+        The bus is dropped once empty, restoring the no-op fast path.
+        Returns True if something was detached.
+        """
+        if self._obs is None:
+            return False
+        if sink is None:
+            self._obs = None
+            return True
+        removed = self._obs.unsubscribe(sink)
+        if not self._obs.sinks:
+            self._obs = None
+        return removed
+
+    def system_virtual_time(self, now=None):
+        """The scheduler-wide virtual time V, or ``None`` if undefined.
+
+        Overridden by tag-based schedulers; consumed by the dequeue event
+        stream and the SEFF/monotonicity invariant checks.
+        """
+        return None
 
     # ------------------------------------------------------------------
     # Main operations
@@ -266,7 +340,12 @@ class PacketScheduler:
         self._clock = now
         limit = self._buffer_limits.get(packet.flow_id)
         if limit is not None and len(state.queue) >= limit:
-            self._drops[packet.flow_id] = self._drops.get(packet.flow_id, 0) + 1
+            drops = self._drops.get(packet.flow_id, 0) + 1
+            self._drops[packet.flow_id] = drops
+            obs = self._obs
+            if obs is not None:
+                obs.emit(DropEvent(now, self.name, packet.flow_id,
+                                   packet.uid, packet.length, drops))
             return False
         was_idle = self.is_empty
         was_flow_empty = not state.queue
@@ -279,6 +358,11 @@ class PacketScheduler:
             # A new system busy period begins now (at the earliest).
             self._free_at = max(self._free_at, now)
         self._on_enqueue(state, packet, now, was_flow_empty, was_idle)
+        obs = self._obs
+        if obs is not None:
+            obs.emit(EnqueueEvent(now, self.name, packet.flow_id, packet.uid,
+                                  packet.length, self._backlog_packets,
+                                  len(state.queue)))
         return True
 
     def dequeue(self, now=None):
@@ -306,6 +390,14 @@ class PacketScheduler:
         self._free_at = finish
         record = self._make_record(state, packet, now, finish)
         self._on_dequeued(state, packet, now)
+        obs = self._obs
+        if obs is not None:
+            obs.emit(DequeueEvent(
+                now, self.name, packet.flow_id, packet.uid, packet.length,
+                packet.arrival_time, record.start_time, record.finish_time,
+                record.virtual_start, record.virtual_finish,
+                self.system_virtual_time(now), self.seff,
+                self._backlog_packets))
         if self.is_empty:
             self._on_system_empty(now)
         return record

@@ -75,3 +75,6 @@ class SFQScheduler(PacketScheduler):
 
     def virtual_time(self):
         return self._virtual
+
+    def system_virtual_time(self, now=None):
+        return self._virtual

@@ -32,6 +32,7 @@ class WF2QScheduler(PacketScheduler):
     """One-level WF2Q server with exact GPS virtual time (SEFF policy)."""
 
     name = "WF2Q"
+    seff = True
 
     def __init__(self, rate):
         super().__init__(rate)
@@ -107,4 +108,7 @@ class WF2QScheduler(PacketScheduler):
         return self._gps
 
     def gps_virtual_time(self, now=None):
+        return self._gps.virtual_time(now)
+
+    def system_virtual_time(self, now=None):
         return self._gps.virtual_time(now)

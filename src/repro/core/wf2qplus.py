@@ -35,6 +35,7 @@ Complexity: one :class:`~repro.dstruct.heap.IndexedHeap` keyed by start tag
 
 from repro.core.scheduler import PacketScheduler, ScheduledPacket
 from repro.dstruct.heap import IndexedHeap
+from repro.obs.events import VirtualTimeUpdate
 
 __all__ = ["WF2QPlusScheduler"]
 
@@ -43,6 +44,7 @@ class WF2QPlusScheduler(PacketScheduler):
     """One-level WF2Q+ server: SEFF policy with the eq. (27) virtual time."""
 
     name = "WF2Q+"
+    seff = True
 
     def __init__(self, rate):
         super().__init__(rate)
@@ -62,6 +64,9 @@ class WF2QPlusScheduler(PacketScheduler):
         """Current value of V (as of the last update instant)."""
         return self._virtual
 
+    def system_virtual_time(self, now=None):
+        return self._virtual
+
     def _advance_virtual(self, now, floor=True):
         """V(t + tau) = max(V + tau, min S_i) — evaluated lazily at events.
 
@@ -79,6 +84,9 @@ class WF2QPlusScheduler(PacketScheduler):
                 v = min_start
         self._virtual = v
         self._virtual_stamp = now
+        obs = self._obs
+        if obs is not None:
+            obs.emit(VirtualTimeUpdate(now, self.name, None, v))
 
     # ------------------------------------------------------------------
     # Tag bookkeeping
@@ -130,6 +138,10 @@ class WF2QPlusScheduler(PacketScheduler):
             for st in self._flows.values():
                 st.start_tag = 0
                 st.finish_tag = 0
+            obs = self._obs
+            if obs is not None:
+                obs.emit(VirtualTimeUpdate(now, self.name, None, 0,
+                                           reset=True))
         if was_flow_empty:
             self._advance_virtual(now, floor=False)
             self._set_head_tags(state, True, now)

@@ -85,3 +85,6 @@ class WFQScheduler(PacketScheduler):
 
     def gps_virtual_time(self, now=None):
         return self._gps.virtual_time(now)
+
+    def system_virtual_time(self, now=None):
+        return self._gps.virtual_time(now)

@@ -12,6 +12,7 @@ __all__ = [
     "UnknownFlowError",
     "DuplicateFlowError",
     "EmptySchedulerError",
+    "InvariantViolation",
     "HierarchyError",
     "SimulationError",
 ]
@@ -57,6 +58,29 @@ class DuplicateFlowError(SchedulerError):
 
 class EmptySchedulerError(SchedulerError):
     """``dequeue`` was called on a scheduler with no backlogged packets."""
+
+
+class InvariantViolation(SchedulerError):
+    """A runtime invariant check failed while consuming the event stream.
+
+    Raised by :class:`repro.obs.invariants.InvariantChecker`; structured so
+    tooling can dispatch on it: ``invariant`` is the check's stable name
+    (e.g. ``"seff-eligibility"``), ``event`` the offending
+    :class:`~repro.obs.events.SchedulerEvent` (or ``None`` for stream-level
+    problems), and ``message`` the human-readable explanation.
+    """
+
+    def __init__(self, invariant, message, event=None):
+        super().__init__(invariant, message)
+        self.invariant = invariant
+        self.message = message
+        self.event = event
+
+    def __str__(self):
+        text = f"[{self.invariant}] {self.message}"
+        if self.event is not None:
+            text += f" | offending event: {self.event!r}"
+        return text
 
 
 class HierarchyError(ReproError):

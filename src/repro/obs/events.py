@@ -1,0 +1,278 @@
+"""The typed event stream at the heart of the observability subsystem.
+
+Every instrumented component (:class:`~repro.core.scheduler.PacketScheduler`
+and its subclasses, the H-PFQ hierarchy, :class:`~repro.sim.link.Link`)
+emits small, immutable-ish event records through an :class:`EventBus`.  The
+emission sites are guarded by a single ``self._obs is None`` check, so a
+scheduler with no observer attached pays one attribute test per operation —
+nothing is allocated and no sink code runs (see
+``benchmarks/test_obs_overhead.py`` for the enforced bound).
+
+Event taxonomy
+--------------
+* :class:`EnqueueEvent` — a packet was accepted into a flow queue.
+* :class:`DequeueEvent` — a packet was selected for transmission; carries
+  the service interval, the algorithm's virtual tags, the system virtual
+  time at selection, and whether the scheduler claims the SEFF property.
+* :class:`DropEvent` — a buffer cap discarded an arrival (drop-tail).
+* :class:`VirtualTimeUpdate` — a scheduler-wide (``node is None``) or
+  per-hierarchy-node virtual clock advanced; ``reset`` marks the start of
+  a new system busy period, where V legitimately returns to zero.
+* :class:`NodeRestart` — an H-PFQ node adopted a new head packet (the
+  paper's RESTART-NODE, plus the leaf re-tagging step of RESET-PATH and
+  the leaf step of ARRIVE); carries the fresh start/finish tags and the
+  node's guaranteed rate so checkers can validate tag arithmetic.
+
+Events are plain-data: ``to_dict`` / :func:`event_from_dict` round-trip
+them through JSON-friendly dictionaries (the JSONL sink relies on this),
+and equality is field-wise, which makes trace comparisons trivial in tests.
+"""
+
+__all__ = [
+    "SchedulerEvent",
+    "EnqueueEvent",
+    "DequeueEvent",
+    "DropEvent",
+    "VirtualTimeUpdate",
+    "NodeRestart",
+    "EventBus",
+    "event_from_dict",
+    "EVENT_KINDS",
+]
+
+
+class SchedulerEvent:
+    """Base class: ``time`` (scheduler clock) and ``scheduler`` (its name).
+
+    Subclasses list their payload in ``_fields``; the base provides
+    ``to_dict``, field-wise equality, and a compact ``repr``.
+    """
+
+    kind = "event"
+    _fields = ("time", "scheduler")
+    __slots__ = ("time", "scheduler")
+
+    def __init__(self, time, scheduler):
+        self.time = time
+        self.scheduler = scheduler
+
+    def to_dict(self):
+        """A JSON-friendly dict, ``kind`` first (the JSONL wire format)."""
+        d = {"kind": self.kind}
+        for f in self._fields:
+            d[f] = getattr(self, f)
+        return d
+
+    def __eq__(self, other):
+        if type(self) is not type(other):
+            return NotImplemented
+        return all(getattr(self, f) == getattr(other, f) for f in self._fields)
+
+    def __ne__(self, other):
+        eq = self.__eq__(other)
+        return eq if eq is NotImplemented else not eq
+
+    def __hash__(self):
+        return hash((self.kind,) + tuple(
+            getattr(self, f) for f in self._fields))
+
+    def __repr__(self):
+        body = ", ".join(f"{f}={getattr(self, f)!r}" for f in self._fields)
+        return f"{type(self).__name__}({body})"
+
+
+class EnqueueEvent(SchedulerEvent):
+    """A packet joined its flow queue.
+
+    ``backlog`` is the scheduler-wide packet count *after* the enqueue and
+    ``flow_backlog`` the flow's own queue length — both are what the
+    backlog-conservation invariant audits.
+    """
+
+    kind = "enqueue"
+    _fields = ("time", "scheduler", "flow_id", "packet_uid", "length",
+               "backlog", "flow_backlog")
+    __slots__ = ("flow_id", "packet_uid", "length", "backlog", "flow_backlog")
+
+    def __init__(self, time, scheduler, flow_id, packet_uid, length,
+                 backlog, flow_backlog):
+        super().__init__(time, scheduler)
+        self.flow_id = flow_id
+        self.packet_uid = packet_uid
+        self.length = length
+        self.backlog = backlog
+        self.flow_backlog = flow_backlog
+
+
+class DequeueEvent(SchedulerEvent):
+    """A packet was selected and its transmission interval fixed.
+
+    ``virtual_start`` / ``virtual_finish`` are the served packet's tags (as
+    on :class:`~repro.core.scheduler.ScheduledPacket`; ``None`` for tagless
+    schedulers), ``virtual_time`` the system virtual time V at selection
+    (``None`` when the algorithm has no V), and ``seff`` the scheduler's
+    claim that its selections satisfy Smallest-Eligible-Finish-First —
+    the invariant checker enforces ``virtual_start <= virtual_time`` when
+    the flag is set.  ``backlog`` is the packet count after the dequeue.
+    """
+
+    kind = "dequeue"
+    _fields = ("time", "scheduler", "flow_id", "packet_uid", "length",
+               "arrival_time", "start_time", "finish_time",
+               "virtual_start", "virtual_finish", "virtual_time",
+               "seff", "backlog")
+    __slots__ = ("flow_id", "packet_uid", "length", "arrival_time",
+                 "start_time", "finish_time", "virtual_start",
+                 "virtual_finish", "virtual_time", "seff", "backlog")
+
+    def __init__(self, time, scheduler, flow_id, packet_uid, length,
+                 arrival_time, start_time, finish_time,
+                 virtual_start, virtual_finish, virtual_time, seff, backlog):
+        super().__init__(time, scheduler)
+        self.flow_id = flow_id
+        self.packet_uid = packet_uid
+        self.length = length
+        self.arrival_time = arrival_time
+        self.start_time = start_time
+        self.finish_time = finish_time
+        self.virtual_start = virtual_start
+        self.virtual_finish = virtual_finish
+        self.virtual_time = virtual_time
+        self.seff = seff
+        self.backlog = backlog
+
+    @property
+    def delay(self):
+        """Arrival-to-transmission-end delay, when the arrival is known."""
+        if self.arrival_time is None:
+            return None
+        return self.finish_time - self.arrival_time
+
+
+class DropEvent(SchedulerEvent):
+    """A drop-tail buffer cap discarded an arrival.
+
+    ``drops`` is the flow's cumulative drop count *including* this one.
+    """
+
+    kind = "drop"
+    _fields = ("time", "scheduler", "flow_id", "packet_uid", "length",
+               "drops")
+    __slots__ = ("flow_id", "packet_uid", "length", "drops")
+
+    def __init__(self, time, scheduler, flow_id, packet_uid, length, drops):
+        super().__init__(time, scheduler)
+        self.flow_id = flow_id
+        self.packet_uid = packet_uid
+        self.length = length
+        self.drops = drops
+
+
+class VirtualTimeUpdate(SchedulerEvent):
+    """A virtual clock advanced (or legitimately reset to zero).
+
+    ``node`` is ``None`` for the scheduler-wide V of one-level algorithms,
+    or the interior node's name inside an H-PFQ hierarchy.  Within one
+    system busy period V must be non-decreasing (eq. 27's slope->=0 side);
+    ``reset=True`` marks the sanctioned return to zero at a busy-period
+    boundary.
+    """
+
+    kind = "virtual-time"
+    _fields = ("time", "scheduler", "node", "virtual", "reset")
+    __slots__ = ("node", "virtual", "reset")
+
+    def __init__(self, time, scheduler, node, virtual, reset=False):
+        super().__init__(time, scheduler)
+        self.node = node
+        self.virtual = virtual
+        self.reset = reset
+
+
+class NodeRestart(SchedulerEvent):
+    """An H-PFQ node adopted a head packet and refreshed its tags.
+
+    Emitted by RESTART-NODE for interior nodes (``child`` names the
+    selected child), and by ARRIVE / RESET-PATH when a leaf re-heads
+    (``child is None``).  ``start_tag``/``finish_tag`` are the node's fresh
+    logical-queue tags (``None`` for the root, which has no parent queue);
+    ``head_length`` and ``rate`` let checkers verify
+    ``finish_tag == start_tag + head_length / rate``.  ``virtual`` is the
+    node's own virtual time after the restart (``None`` for leaves).
+    """
+
+    kind = "node-restart"
+    _fields = ("time", "scheduler", "node", "child", "start_tag",
+               "finish_tag", "virtual", "head_length", "rate")
+    __slots__ = ("node", "child", "start_tag", "finish_tag", "virtual",
+                 "head_length", "rate")
+
+    def __init__(self, time, scheduler, node, child, start_tag, finish_tag,
+                 virtual, head_length, rate):
+        super().__init__(time, scheduler)
+        self.node = node
+        self.child = child
+        self.start_tag = start_tag
+        self.finish_tag = finish_tag
+        self.virtual = virtual
+        self.head_length = head_length
+        self.rate = rate
+
+
+EVENT_KINDS = {
+    cls.kind: cls
+    for cls in (EnqueueEvent, DequeueEvent, DropEvent, VirtualTimeUpdate,
+                NodeRestart)
+}
+
+
+def event_from_dict(d):
+    """Rebuild an event from its ``to_dict`` form (JSONL deserialisation)."""
+    try:
+        cls = EVENT_KINDS[d["kind"]]
+    except KeyError:
+        raise ValueError(f"unknown event kind: {d.get('kind')!r}") from None
+    return cls(**{f: d[f] for f in cls._fields})
+
+
+class EventBus:
+    """Fans one event stream out to any number of sinks.
+
+    The bus itself is the object schedulers hold in ``_obs``; emission is a
+    plain loop over subscribed sinks, so a sink that raises (the invariant
+    checker does, deliberately) aborts the operation that emitted the event
+    — the violation surfaces *at* the offending enqueue/dequeue call.
+    """
+
+    __slots__ = ("sinks",)
+
+    def __init__(self, *sinks):
+        self.sinks = list(sinks)
+
+    def subscribe(self, sink):
+        if sink not in self.sinks:
+            self.sinks.append(sink)
+        return sink
+
+    def unsubscribe(self, sink):
+        try:
+            self.sinks.remove(sink)
+            return True
+        except ValueError:
+            return False
+
+    def emit(self, event):
+        for sink in self.sinks:
+            sink.accept(event)
+
+    def close(self):
+        for sink in self.sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+
+    def __len__(self):
+        return len(self.sinks)
+
+    def __repr__(self):
+        return f"EventBus(sinks={len(self.sinks)})"

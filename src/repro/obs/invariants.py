@@ -1,0 +1,245 @@
+"""Runtime invariant checking over the observability event stream.
+
+:class:`InvariantChecker` is a sink: attach it to any scheduler with
+``scheduler.attach_observer(InvariantChecker())`` and every enqueue /
+dequeue is audited *as it happens* — a violation raises a structured
+:class:`~repro.errors.InvariantViolation` carrying the offending event, so
+the stack trace points at the exact operation that broke the property.
+
+Checks (each individually switchable):
+
+* **virtual-time-monotonic** — every virtual clock (the system V of
+  WF2Q+/SCFQ/SFQ/WFQ/WF2Q, and each interior node's V in an H-PFQ tree)
+  must be non-decreasing within a system busy period (the slope >= 0 side
+  of eq. 27).  Resets to zero are allowed only at busy-period boundaries
+  (``VirtualTimeUpdate.reset`` or an observed empty system).
+* **seff-eligibility** — for schedulers that claim SEFF (WF2Q, WF2Q+),
+  every dequeued packet must have been *eligible*: its virtual start tag
+  cannot exceed the system virtual time at selection (Section 3.1's
+  defining property of WF2Q).
+* **backlog-conservation** — per scheduler, ``enqueues - dequeues - drops``
+  must equal the backlog reported on every event; per flow, cumulative
+  drop counts must advance by exactly one per drop event.
+* **tag-consistency** — along ARRIVE / RESTART-NODE / RESET-PATH, each
+  H-PFQ node's fresh tags must satisfy
+  ``finish = start + head_length / rate`` with per-node non-decreasing
+  start tags within a busy period; one-level dequeue records must have
+  ``virtual_finish > virtual_start``.
+
+Tolerance: comparisons accept a relative slack (``tolerance``, default
+1e-9) so float workloads don't false-positive; exact types
+(int/``Fraction``) are compared exactly when the tolerance is 0.
+"""
+
+from repro.errors import InvariantViolation
+from repro.obs.sinks import Sink
+
+__all__ = ["InvariantChecker", "InvariantViolation"]
+
+
+class _SchedulerAudit:
+    """Mutable audit state for one scheduler name."""
+
+    __slots__ = ("backlog", "enqueues", "dequeues", "drops", "flow_drops",
+                 "virtual", "start_tags")
+
+    def __init__(self):
+        self.backlog = None          # None until seeded by the first event
+        self.enqueues = 0
+        self.dequeues = 0
+        self.drops = 0
+        self.flow_drops = {}         # flow_id -> cumulative drops
+        self.virtual = {}            # node name (or None=system) -> last V
+        self.start_tags = {}         # node name -> last start tag
+
+    def new_busy_period(self):
+        self.virtual.clear()
+        self.start_tags.clear()
+
+
+class InvariantChecker(Sink):
+    """Audits an event stream; raises on the first violated invariant.
+
+    Parameters
+    ----------
+    tolerance:
+        Relative slack for float comparisons (0 for exact workloads).
+    check_monotonic, check_seff, check_backlog, check_tags:
+        Individually disable checks (all on by default).
+    """
+
+    VIRTUAL_MONOTONIC = "virtual-time-monotonic"
+    SEFF = "seff-eligibility"
+    BACKLOG = "backlog-conservation"
+    TAGS = "tag-consistency"
+
+    def __init__(self, tolerance=1e-9, check_monotonic=True, check_seff=True,
+                 check_backlog=True, check_tags=True):
+        self.tolerance = tolerance
+        self.check_monotonic = check_monotonic
+        self.check_seff = check_seff
+        self.check_backlog = check_backlog
+        self.check_tags = check_tags
+        self.events_checked = 0
+        self._audits = {}
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _audit(self, scheduler):
+        a = self._audits.get(scheduler)
+        if a is None:
+            a = self._audits[scheduler] = _SchedulerAudit()
+        return a
+
+    def _slack(self, scale):
+        return self.tolerance * max(1, abs(scale)) if self.tolerance else 0
+
+    def _fail(self, invariant, message, event):
+        raise InvariantViolation(invariant, message, event=event)
+
+    # ------------------------------------------------------------------
+    # Sink interface
+    # ------------------------------------------------------------------
+    def accept(self, event):
+        self.events_checked += 1
+        kind = event.kind
+        if kind == "enqueue":
+            self._on_enqueue(event)
+        elif kind == "dequeue":
+            self._on_dequeue(event)
+        elif kind == "drop":
+            self._on_drop(event)
+        elif kind == "virtual-time":
+            self._on_virtual(event)
+        elif kind == "node-restart":
+            self._on_restart(event)
+
+    # ------------------------------------------------------------------
+    # Per-event checks
+    # ------------------------------------------------------------------
+    def _on_enqueue(self, ev):
+        a = self._audit(ev.scheduler)
+        a.enqueues += 1
+        if a.backlog is None:
+            a.backlog = ev.backlog   # adopt a stream joined mid-run
+            return
+        if a.backlog == 0:
+            # First arrival of a new system busy period: schedulers may
+            # have (or be about to) zero their clocks and tags.
+            a.new_busy_period()
+        a.backlog += 1
+        if self.check_backlog and a.backlog != ev.backlog:
+            self._fail(
+                self.BACKLOG,
+                f"{ev.scheduler}: backlog after enqueue is {ev.backlog}, "
+                f"but enqueues - dequeues - drops gives {a.backlog}",
+                ev)
+
+    def _on_dequeue(self, ev):
+        a = self._audit(ev.scheduler)
+        a.dequeues += 1
+        if a.backlog is None:
+            a.backlog = ev.backlog
+        else:
+            a.backlog -= 1
+            if self.check_backlog and a.backlog != ev.backlog:
+                self._fail(
+                    self.BACKLOG,
+                    f"{ev.scheduler}: backlog after dequeue is {ev.backlog},"
+                    f" but enqueues - dequeues - drops gives {a.backlog}",
+                    ev)
+        if self.check_seff and ev.seff and ev.virtual_start is not None \
+                and ev.virtual_time is not None:
+            if ev.virtual_start > ev.virtual_time \
+                    + self._slack(ev.virtual_time):
+                self._fail(
+                    self.SEFF,
+                    f"{ev.scheduler}: dequeued packet of flow "
+                    f"{ev.flow_id!r} is ineligible — virtual start "
+                    f"{ev.virtual_start} exceeds system virtual time "
+                    f"{ev.virtual_time}",
+                    ev)
+        if self.check_tags and ev.virtual_start is not None \
+                and ev.virtual_finish is not None:
+            if ev.virtual_finish <= ev.virtual_start \
+                    - self._slack(ev.virtual_start):
+                self._fail(
+                    self.TAGS,
+                    f"{ev.scheduler}: flow {ev.flow_id!r} has virtual "
+                    f"finish {ev.virtual_finish} <= virtual start "
+                    f"{ev.virtual_start}",
+                    ev)
+        if self.check_monotonic and ev.virtual_time is not None:
+            self._advance_clock(a, None, ev.virtual_time, ev)
+        if a.backlog == 0:
+            # Busy period over; clocks may legitimately restart from zero.
+            a.new_busy_period()
+
+    def _on_drop(self, ev):
+        a = self._audit(ev.scheduler)
+        a.drops += 1
+        if self.check_backlog:
+            seen = a.flow_drops.get(ev.flow_id)
+            if seen is not None and ev.drops != seen + 1:
+                self._fail(
+                    self.BACKLOG,
+                    f"{ev.scheduler}: flow {ev.flow_id!r} drop counter "
+                    f"jumped from {seen} to {ev.drops}",
+                    ev)
+        a.flow_drops[ev.flow_id] = ev.drops
+
+    def _on_virtual(self, ev):
+        a = self._audit(ev.scheduler)
+        if ev.reset:
+            a.virtual[ev.node] = ev.virtual
+            return
+        if self.check_monotonic:
+            self._advance_clock(a, ev.node, ev.virtual, ev)
+
+    def _advance_clock(self, audit, node, value, ev):
+        last = audit.virtual.get(node)
+        if last is not None and value < last - self._slack(last):
+            where = f"node {node!r}" if node is not None else "system"
+            self._fail(
+                self.VIRTUAL_MONOTONIC,
+                f"{ev.scheduler}: {where} virtual time went backwards "
+                f"({last} -> {value}) inside a busy period",
+                ev)
+        if last is None or value > last:
+            audit.virtual[node] = value
+
+    def _on_restart(self, ev):
+        if not self.check_tags:
+            return
+        a = self._audit(ev.scheduler)
+        if ev.start_tag is None:
+            return  # the root has no logical-queue tags
+        if ev.head_length is not None and ev.rate is not None:
+            expected = ev.start_tag + ev.head_length / ev.rate
+            if abs(ev.finish_tag - expected) > self._slack(expected):
+                self._fail(
+                    self.TAGS,
+                    f"{ev.scheduler}: node {ev.node!r} finish tag "
+                    f"{ev.finish_tag} != start {ev.start_tag} + "
+                    f"L/r {ev.head_length}/{ev.rate}",
+                    ev)
+        last = a.start_tags.get(ev.node)
+        if last is not None and ev.start_tag < last - self._slack(last):
+            self._fail(
+                self.TAGS,
+                f"{ev.scheduler}: node {ev.node!r} start tag went "
+                f"backwards ({last} -> {ev.start_tag}) inside a busy "
+                f"period",
+                ev)
+        if last is None or ev.start_tag > last:
+            a.start_tags[ev.node] = ev.start_tag
+
+    # ------------------------------------------------------------------
+    def schedulers(self):
+        """Names of the schedulers observed so far."""
+        return sorted(self._audits)
+
+    def __repr__(self):
+        return (f"InvariantChecker(events={self.events_checked}, "
+                f"schedulers={len(self._audits)})")

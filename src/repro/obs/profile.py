@@ -1,0 +1,148 @@
+"""Opt-in wall-clock profiling of the scheduler hot path.
+
+:class:`SchedulerProfiler` shadows a *single scheduler instance's*
+``enqueue`` / ``dequeue`` with timing wrappers (instance attributes over
+the class methods), so unprofiled schedulers keep the untouched fast path.
+Use it as a context manager or call :meth:`detach` to restore the
+original methods; ``summary()`` yields per-operation percentile
+statistics, surfaced by ``python -m repro stats``.
+"""
+
+import math
+import time
+
+__all__ = ["SchedulerProfiler", "OpStats", "percentile"]
+
+
+def percentile(sorted_samples, q):
+    """Quantile ``q`` in (0, 1] of an already-sorted sample list."""
+    if not sorted_samples:
+        return 0.0
+    if not 0 < q <= 1:
+        raise ValueError(f"quantile must be in (0, 1], got {q!r}")
+    index = max(0, math.ceil(q * len(sorted_samples)) - 1)
+    return sorted_samples[index]
+
+
+class OpStats:
+    """Summary of one operation's timing samples (seconds)."""
+
+    __slots__ = ("count", "total", "mean", "p50", "p90", "p99", "max")
+
+    def __init__(self, samples):
+        self.count = len(samples)
+        self.total = sum(samples)
+        self.mean = self.total / self.count if samples else 0.0
+        ordered = sorted(samples)
+        self.p50 = percentile(ordered, 0.50)
+        self.p90 = percentile(ordered, 0.90)
+        self.p99 = percentile(ordered, 0.99)
+        self.max = ordered[-1] if ordered else 0.0
+
+    def to_dict(self):
+        return {f: getattr(self, f) for f in self.__slots__}
+
+    def __repr__(self):
+        return (f"OpStats(n={self.count}, mean={1e6 * self.mean:.2f}us, "
+                f"p99={1e6 * self.p99:.2f}us)")
+
+
+class SchedulerProfiler:
+    """Times every enqueue/dequeue of one scheduler instance.
+
+    Parameters
+    ----------
+    scheduler:
+        Any :class:`~repro.core.scheduler.PacketScheduler`.
+    clock:
+        Timer returning seconds (default :func:`time.perf_counter`).
+    """
+
+    def __init__(self, scheduler, clock=time.perf_counter):
+        self.scheduler = scheduler
+        self.enqueue_samples = []
+        self.dequeue_samples = []
+        self._attached = False
+        self._clock = clock
+        self.attach()
+
+    def attach(self):
+        if self._attached:
+            return self
+        sched = self.scheduler
+        clock = self._clock
+        orig_enqueue = sched.enqueue
+        orig_dequeue = sched.dequeue
+        enq_samples = self.enqueue_samples
+        deq_samples = self.dequeue_samples
+
+        def enqueue(packet, now=None):
+            t0 = clock()
+            try:
+                return orig_enqueue(packet, now)
+            finally:
+                enq_samples.append(clock() - t0)
+
+        def dequeue(now=None):
+            t0 = clock()
+            try:
+                return orig_dequeue(now)
+            finally:
+                deq_samples.append(clock() - t0)
+
+        sched.enqueue = enqueue
+        sched.dequeue = dequeue
+        self._attached = True
+        return self
+
+    def detach(self):
+        """Restore the scheduler's unwrapped methods."""
+        if not self._attached:
+            return
+        # The wrappers are instance attributes shadowing the class methods;
+        # deleting them reinstates the original (class-level) fast path.
+        del self.scheduler.enqueue
+        del self.scheduler.dequeue
+        self._attached = False
+
+    @property
+    def attached(self):
+        return self._attached
+
+    def reset(self):
+        """Discard collected samples (keeps the wrappers attached)."""
+        self.enqueue_samples.clear()
+        self.dequeue_samples.clear()
+
+    def summary(self):
+        """``{"enqueue": OpStats, "dequeue": OpStats}`` of the samples."""
+        return {
+            "enqueue": OpStats(self.enqueue_samples),
+            "dequeue": OpStats(self.dequeue_samples),
+        }
+
+    def format_report(self):
+        """Percentile table in microseconds (``python -m repro stats``)."""
+        lines = [f"{'op':>8s} {'count':>9s} {'mean':>9s} {'p50':>9s} "
+                 f"{'p90':>9s} {'p99':>9s} {'max':>9s}   (us)"]
+        for op, stats in self.summary().items():
+            lines.append(
+                f"{op:>8s} {stats.count:9d} "
+                f"{1e6 * stats.mean:9.3f} {1e6 * stats.p50:9.3f} "
+                f"{1e6 * stats.p90:9.3f} {1e6 * stats.p99:9.3f} "
+                f"{1e6 * stats.max:9.3f}"
+            )
+        return "\n".join(lines)
+
+    def __enter__(self):
+        return self.attach()
+
+    def __exit__(self, exc_type, exc, tb):
+        self.detach()
+        return False
+
+    def __repr__(self):
+        state = "attached" if self._attached else "detached"
+        return (f"SchedulerProfiler({self.scheduler.name!r}, {state}, "
+                f"enq={len(self.enqueue_samples)}, "
+                f"deq={len(self.dequeue_samples)})")

@@ -1,0 +1,337 @@
+"""Pluggable consumers of the observability event stream.
+
+A sink is anything with ``accept(event)`` (and optionally ``close()``);
+subscribe one to a scheduler with
+:meth:`~repro.core.scheduler.PacketScheduler.attach_observer`.  Provided:
+
+* :class:`RingBufferSink` — keeps the last N events in memory (flight
+  recorder; cheap enough to leave attached).
+* :class:`JSONLSink` — streams events to a JSON-lines file;
+  :func:`read_jsonl` reconstructs the identical event sequence.
+* :class:`MetricsSink` — streaming per-flow counters, gauges, and delay
+  histograms with percentile estimates (no per-event storage).
+* :class:`CallbackSink` — adapts a bare callable.
+"""
+
+import json
+from collections import deque
+
+from repro.obs.events import event_from_dict
+
+__all__ = [
+    "Sink",
+    "CallbackSink",
+    "RingBufferSink",
+    "JSONLSink",
+    "read_jsonl",
+    "MetricsSink",
+    "FlowMetrics",
+]
+
+
+class Sink:
+    """Interface for event consumers."""
+
+    def accept(self, event):
+        raise NotImplementedError
+
+    def close(self):
+        """Flush/release resources; called by ``EventBus.close()``."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+
+class CallbackSink(Sink):
+    """Forward every event to ``fn(event)``."""
+
+    def __init__(self, fn):
+        self.fn = fn
+
+    def accept(self, event):
+        self.fn(event)
+
+
+class RingBufferSink(Sink):
+    """Keep the most recent ``capacity`` events, oldest evicted first."""
+
+    def __init__(self, capacity=65536):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity!r}")
+        self.capacity = capacity
+        self._buffer = deque(maxlen=capacity)
+        self._total = 0
+
+    def accept(self, event):
+        self._buffer.append(event)
+        self._total += 1
+
+    @property
+    def total_seen(self):
+        """Events ever accepted (>= len(self) once eviction starts)."""
+        return self._total
+
+    def events(self):
+        """The retained events, oldest first."""
+        return list(self._buffer)
+
+    def clear(self):
+        self._buffer.clear()
+
+    def __len__(self):
+        return len(self._buffer)
+
+    def __iter__(self):
+        return iter(self._buffer)
+
+    def __repr__(self):
+        return (f"RingBufferSink({len(self._buffer)}/{self.capacity}, "
+                f"seen={self._total})")
+
+
+def _json_default(value):
+    """Serialise non-JSON scalars: Fractions (exact tests) become floats."""
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return str(value)
+
+
+class JSONLSink(Sink):
+    """Append one JSON object per event to a file (the ``--trace`` format).
+
+    Accepts a path (file opened and owned by the sink) or any writable
+    text-file object (left open on ``close``).
+    """
+
+    def __init__(self, path_or_file):
+        if hasattr(path_or_file, "write"):
+            self._fh = path_or_file
+            self._owns = False
+            self.path = getattr(path_or_file, "name", None)
+        else:
+            self._fh = open(path_or_file, "w")
+            self._owns = True
+            self.path = path_or_file
+        self.events_written = 0
+
+    def accept(self, event):
+        self._fh.write(json.dumps(event.to_dict(), default=_json_default))
+        self._fh.write("\n")
+        self.events_written += 1
+
+    def close(self):
+        if self._owns and not self._fh.closed:
+            self._fh.close()
+        elif not self._owns:
+            self._fh.flush()
+
+    def __repr__(self):
+        return f"JSONLSink({self.path!r}, written={self.events_written})"
+
+
+def read_jsonl(path_or_file):
+    """Parse a JSONL trace back into the list of events it encoded."""
+    if hasattr(path_or_file, "read"):
+        lines = path_or_file
+        return [event_from_dict(json.loads(line))
+                for line in lines if line.strip()]
+    with open(path_or_file) as fh:
+        return [event_from_dict(json.loads(line))
+                for line in fh if line.strip()]
+
+
+#: Default delay-histogram bucket upper bounds (seconds): 1 us .. ~17 min,
+#: geometric with ratio 4, plus an implicit +inf overflow bucket.
+DEFAULT_DELAY_BUCKETS = tuple(1e-6 * 4 ** k for k in range(16))
+
+
+class FlowMetrics:
+    """Counters, gauges, and a delay histogram for one flow."""
+
+    __slots__ = ("enqueues", "dequeues", "drops", "bits_in", "bits_out",
+                 "queue_len", "max_queue_len", "delay_count", "delay_sum",
+                 "delay_max", "histogram")
+
+    def __init__(self, n_buckets):
+        self.enqueues = 0
+        self.dequeues = 0
+        self.drops = 0
+        self.bits_in = 0
+        self.bits_out = 0
+        self.queue_len = 0
+        self.max_queue_len = 0
+        self.delay_count = 0
+        self.delay_sum = 0.0
+        self.delay_max = 0.0
+        # one extra slot = the +inf overflow bucket
+        self.histogram = [0] * (n_buckets + 1)
+
+    @property
+    def delay_mean(self):
+        return self.delay_sum / self.delay_count if self.delay_count else 0.0
+
+
+class MetricsSink(Sink):
+    """Streaming per-flow metrics — the long-run alternative to tracing.
+
+    Unlike :class:`RingBufferSink` / :class:`JSONLSink` it stores nothing
+    per event: counts, byte totals, queue-length gauges, and a fixed-bucket
+    delay histogram per flow (plus the same aggregated across flows).
+    ``delay_percentile`` answers from the histogram, returning the bucket
+    upper bound — a conservative estimate whose resolution is set by
+    ``buckets``.
+    """
+
+    def __init__(self, buckets=DEFAULT_DELAY_BUCKETS):
+        self.buckets = tuple(buckets)
+        if any(b <= a for a, b in zip(self.buckets, self.buckets[1:])):
+            raise ValueError("histogram buckets must be strictly increasing")
+        self._flows = {}
+        self.backlog = 0
+        self.max_backlog = 0
+        self.events_seen = 0
+
+    def _metrics(self, flow_id):
+        m = self._flows.get(flow_id)
+        if m is None:
+            m = self._flows[flow_id] = FlowMetrics(len(self.buckets))
+        return m
+
+    def accept(self, event):
+        self.events_seen += 1
+        kind = event.kind
+        if kind == "enqueue":
+            m = self._metrics(event.flow_id)
+            m.enqueues += 1
+            m.bits_in += event.length
+            m.queue_len = event.flow_backlog
+            if event.flow_backlog > m.max_queue_len:
+                m.max_queue_len = event.flow_backlog
+            self.backlog = event.backlog
+            if event.backlog > self.max_backlog:
+                self.max_backlog = event.backlog
+        elif kind == "dequeue":
+            m = self._metrics(event.flow_id)
+            m.dequeues += 1
+            m.bits_out += event.length
+            if m.queue_len > 0:
+                m.queue_len -= 1
+            self.backlog = event.backlog
+            delay = event.delay
+            if delay is not None:
+                self._observe_delay(m, delay)
+        elif kind == "drop":
+            self._metrics(event.flow_id).drops += 1
+
+    def _observe_delay(self, m, delay):
+        m.delay_count += 1
+        m.delay_sum += delay
+        if delay > m.delay_max:
+            m.delay_max = delay
+        for i, bound in enumerate(self.buckets):
+            if delay <= bound:
+                m.histogram[i] += 1
+                return
+        m.histogram[-1] += 1
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def flows(self):
+        return sorted(self._flows, key=str)
+
+    def flow(self, flow_id):
+        """The :class:`FlowMetrics` of one flow (must have been seen)."""
+        return self._flows[flow_id]
+
+    def counter(self, flow_id, name):
+        return getattr(self._flows[flow_id], name)
+
+    def total(self, name):
+        """Sum a counter over all flows (e.g. ``total('drops')``)."""
+        return sum(getattr(m, name) for m in self._flows.values())
+
+    def _merged_histogram(self, flow_id=None):
+        if flow_id is not None:
+            return self._flows[flow_id].histogram
+        merged = [0] * (len(self.buckets) + 1)
+        for m in self._flows.values():
+            for i, c in enumerate(m.histogram):
+                merged[i] += c
+        return merged
+
+    def delay_percentile(self, q, flow_id=None):
+        """Upper bound of the histogram bucket containing quantile ``q``.
+
+        Returns ``float('inf')`` for mass in the overflow bucket and 0.0
+        when no delays were observed.
+        """
+        if not 0 < q <= 1:
+            raise ValueError(f"quantile must be in (0, 1], got {q!r}")
+        hist = self._merged_histogram(flow_id)
+        total = sum(hist)
+        if total == 0:
+            return 0.0
+        target = q * total
+        acc = 0
+        for i, count in enumerate(hist):
+            acc += count
+            if acc >= target:
+                return self.buckets[i] if i < len(self.buckets) else float("inf")
+        return float("inf")
+
+    def summary(self):
+        """One plain dict per flow plus system-wide gauges."""
+        out = {
+            "backlog": self.backlog,
+            "max_backlog": self.max_backlog,
+            "events": self.events_seen,
+            "flows": {},
+        }
+        for fid in self.flows():
+            m = self._flows[fid]
+            out["flows"][fid] = {
+                "enqueues": m.enqueues,
+                "dequeues": m.dequeues,
+                "drops": m.drops,
+                "bits_in": m.bits_in,
+                "bits_out": m.bits_out,
+                "queue_len": m.queue_len,
+                "max_queue_len": m.max_queue_len,
+                "delay_mean": m.delay_mean,
+                "delay_max": m.delay_max,
+            }
+        return out
+
+    def format_report(self):
+        """A compact text table (used by ``python -m repro stats``)."""
+        lines = [
+            f"{'flow':>12s} {'enq':>8s} {'deq':>8s} {'drop':>6s} "
+            f"{'maxQ':>5s} {'mean delay':>11s} {'p99 delay':>11s} "
+            f"{'max delay':>11s}"
+        ]
+        for fid in self.flows():
+            m = self._flows[fid]
+            p99 = self.delay_percentile(0.99, fid) if m.delay_count else 0.0
+            p99s = "inf" if p99 == float("inf") else f"{1e3 * p99:.3f}ms"
+            lines.append(
+                f"{str(fid):>12s} {m.enqueues:8d} {m.dequeues:8d} "
+                f"{m.drops:6d} {m.max_queue_len:5d} "
+                f"{1e3 * m.delay_mean:10.3f}ms {p99s:>11s} "
+                f"{1e3 * m.delay_max:10.3f}ms"
+            )
+        lines.append(
+            f"{'total':>12s} {self.total('enqueues'):8d} "
+            f"{self.total('dequeues'):8d} {self.total('drops'):6d} "
+            f"{self.max_backlog:5d}"
+        )
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return (f"MetricsSink(flows={len(self._flows)}, "
+                f"events={self.events_seen})")

@@ -56,6 +56,11 @@ class Simulator:
         self._now = 0.0
         self._running = False
         self._processed = 0
+        #: Optional callable ``hook(event)`` invoked after each processed
+        #: event — the observability/profiling tap into the event loop
+        #: (e.g. counting callbacks per simulated second).  ``None`` keeps
+        #: the loop on the fast path.
+        self.event_hook = None
 
     @property
     def now(self):
@@ -116,6 +121,8 @@ class Simulator:
                 event.callback(*event.args)
                 self._processed += 1
                 count += 1
+                if self.event_hook is not None:
+                    self.event_hook(event)
         finally:
             self._running = False
         if until is not None and self._now < until:
@@ -131,6 +138,8 @@ class Simulator:
             self._now = event.time
             event.callback(*event.args)
             self._processed += 1
+            if self.event_hook is not None:
+                self.event_hook(event)
             return event
         return None
 

@@ -59,6 +59,22 @@ class Link:
     def rate(self):
         return self.scheduler.rate
 
+    # ------------------------------------------------------------------
+    # Observability: a link's event stream is its scheduler's — arrivals,
+    # drops, and transmissions all pass through enqueue/dequeue, so the
+    # link simply forwards sink management to the scheduler.
+    # ------------------------------------------------------------------
+    def attach_observer(self, *sinks):
+        """Subscribe sinks to this link's scheduler event stream."""
+        return self.scheduler.attach_observer(*sinks)
+
+    def detach_observer(self, sink=None):
+        return self.scheduler.detach_observer(sink)
+
+    @property
+    def observer(self):
+        return self.scheduler.observer
+
     @property
     def bits_sent(self):
         return self._bits_sent

@@ -56,3 +56,49 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "RT-1" in out
         assert "WF2Q/WF2Q+" in out
+
+
+class TestStatsParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["stats"])
+        assert args.scheduler == "wf2qplus"
+        assert args.flows == 64
+        assert args.packets == 20000
+        assert args.trace is None
+        assert args.check is False
+
+    def test_bad_scheduler_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stats", "--scheduler", "nope"])
+
+
+class TestStats:
+    def test_stats_with_check_and_trace(self, capsys, tmp_path):
+        from repro.obs.sinks import read_jsonl
+
+        trace = tmp_path / "trace.jsonl"
+        assert main(["stats", "--scheduler", "wf2qplus", "--flows", "8",
+                     "--packets", "200", "--check",
+                     "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "enqueue" in out and "dequeue" in out  # profiler table
+        assert "invariants: OK" in out
+        assert "trace: wrote" in out
+        events = read_jsonl(str(trace))
+        assert len(events) > 400  # enq + deq per churned packet, at least
+        assert {e.kind for e in events} >= {"enqueue", "dequeue",
+                                            "virtual-time"}
+
+    def test_stats_hierarchical(self, capsys):
+        assert main(["stats", "--scheduler", "hwf2qplus", "--flows", "12",
+                     "--packets", "100", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "invariants: OK" in out
+        assert "total" in out  # metrics table
+
+    def test_stats_fifo(self, capsys):
+        assert main(["stats", "--scheduler", "fifo", "--flows", "4",
+                     "--packets", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "repro stats" in out
+        assert "invariants" not in out

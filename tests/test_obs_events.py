@@ -1,0 +1,229 @@
+"""Tests for the observability event stream and its scheduler wiring."""
+
+import pytest
+
+from repro.core.fifo import FIFOScheduler
+from repro.core.hierarchy import make_hwf2qplus
+from repro.core.packet import Packet
+from repro.core.wf2qplus import WF2QPlusScheduler
+from repro.config import leaf, node
+from repro.obs.events import (
+    DequeueEvent,
+    DropEvent,
+    EnqueueEvent,
+    EventBus,
+    NodeRestart,
+    VirtualTimeUpdate,
+    event_from_dict,
+)
+from repro.obs.sinks import RingBufferSink
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+
+
+def wf2qplus_two_flows():
+    s = WF2QPlusScheduler(rate=1.0)
+    s.add_flow("a", 1)
+    s.add_flow("b", 1)
+    return s
+
+
+class TestEventTypes:
+    def test_equality_is_fieldwise(self):
+        e1 = EnqueueEvent(0.0, "S", "a", 1, 100, 1, 1)
+        e2 = EnqueueEvent(0.0, "S", "a", 1, 100, 1, 1)
+        e3 = EnqueueEvent(0.0, "S", "a", 1, 100, 2, 1)
+        assert e1 == e2
+        assert e1 != e3
+        assert e1 != VirtualTimeUpdate(0.0, "S", None, 0)
+
+    def test_dict_round_trip(self):
+        events = [
+            EnqueueEvent(0.5, "S", "a", 7, 8000, 3, 2),
+            DequeueEvent(1.0, "S", "a", 7, 8000, 0.5, 1.0, 2.0,
+                         0.25, 0.75, 0.5, True, 2),
+            DropEvent(1.5, "S", "b", 8, 8000, 4),
+            VirtualTimeUpdate(2.0, "S", None, 1.25, True),
+            NodeRestart(2.5, "H", "n", "c", 1.0, 2.0, 1.5, 100, 100.0),
+        ]
+        for event in events:
+            clone = event_from_dict(event.to_dict())
+            assert clone == event
+            assert clone.to_dict() == event.to_dict()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            event_from_dict({"kind": "nope"})
+
+    def test_dequeue_delay(self):
+        e = DequeueEvent(1.0, "S", "a", 7, 100, 0.25, 1.0, 2.0,
+                         None, None, None, False, 0)
+        assert e.delay == pytest.approx(1.75)
+        e2 = DequeueEvent(1.0, "S", "a", 7, 100, None, 1.0, 2.0,
+                          None, None, None, False, 0)
+        assert e2.delay is None
+
+
+class TestEventBus:
+    def test_subscribe_unsubscribe(self):
+        bus = EventBus()
+        ring = RingBufferSink()
+        bus.subscribe(ring)
+        bus.subscribe(ring)  # idempotent
+        assert len(bus) == 1
+        bus.emit(VirtualTimeUpdate(0.0, "S", None, 0))
+        assert len(ring) == 1
+        assert bus.unsubscribe(ring)
+        assert not bus.unsubscribe(ring)
+        bus.emit(VirtualTimeUpdate(1.0, "S", None, 1))
+        assert len(ring) == 1  # no longer subscribed
+
+
+class TestSchedulerWiring:
+    def test_no_observer_by_default(self):
+        assert wf2qplus_two_flows().observer is None
+
+    def test_attach_detach_lifecycle(self):
+        s = wf2qplus_two_flows()
+        ring = RingBufferSink()
+        bus = s.attach_observer(ring)
+        assert s.observer is bus
+        assert s.detach_observer(ring)
+        assert s.observer is None  # bus dropped once empty
+        s.attach_observer(ring)
+        s.detach_observer()
+        assert s.observer is None
+
+    def test_enqueue_dequeue_events(self):
+        s = wf2qplus_two_flows()
+        ring = RingBufferSink()
+        s.attach_observer(ring)
+        p = Packet("a", 1.0)
+        s.enqueue(p, now=0.0)
+        record = s.dequeue()
+        enq = [e for e in ring if e.kind == "enqueue"]
+        deq = [e for e in ring if e.kind == "dequeue"]
+        assert len(enq) == 1 and len(deq) == 1
+        assert enq[0].flow_id == "a"
+        assert enq[0].packet_uid == p.uid
+        assert enq[0].backlog == 1
+        assert enq[0].flow_backlog == 1
+        assert deq[0].packet_uid == p.uid
+        assert deq[0].start_time == record.start_time
+        assert deq[0].finish_time == record.finish_time
+        assert deq[0].virtual_start == record.virtual_start
+        assert deq[0].virtual_finish == record.virtual_finish
+        assert deq[0].seff is True
+        assert deq[0].backlog == 0
+
+    def test_detached_scheduler_emits_nothing(self):
+        s = wf2qplus_two_flows()
+        ring = RingBufferSink()
+        s.attach_observer(ring)
+        s.detach_observer()
+        s.enqueue(Packet("a", 1.0), now=0.0)
+        s.dequeue()
+        assert len(ring) == 0
+
+    def test_drop_event(self):
+        s = FIFOScheduler(rate=1000)
+        s.add_flow("a", 1)
+        s.set_buffer_limit("a", 1)
+        ring = RingBufferSink()
+        s.attach_observer(ring)
+        assert s.enqueue(Packet("a", 10), now=0)
+        assert not s.enqueue(Packet("a", 10), now=0)
+        drops = [e for e in ring if e.kind == "drop"]
+        assert len(drops) == 1
+        assert drops[0].flow_id == "a"
+        assert drops[0].drops == 1
+
+    def test_virtual_time_updates_monotone(self):
+        s = wf2qplus_two_flows()
+        ring = RingBufferSink()
+        s.attach_observer(ring)
+        for _ in range(3):
+            s.enqueue(Packet("a", 1.0), now=0.0)
+        s.enqueue(Packet("b", 1.0), now=0.0)
+        s.drain()
+        updates = [e for e in ring if e.kind == "virtual-time"]
+        assert updates, "WF2Q+ must emit virtual-time events"
+        values = [e.virtual for e in updates if not e.reset]
+        assert values == sorted(values)
+
+    def test_tagless_scheduler_dequeue_fields(self):
+        s = FIFOScheduler(rate=1000)
+        s.add_flow("a", 1)
+        ring = RingBufferSink()
+        s.attach_observer(ring)
+        s.enqueue(Packet("a", 10), now=0)
+        s.dequeue()
+        (deq,) = [e for e in ring if e.kind == "dequeue"]
+        assert deq.virtual_start is None
+        assert deq.virtual_time is None
+        assert deq.seff is False
+
+
+class TestHierarchyWiring:
+    def spec(self):
+        return node("root", 1, [
+            node("L", 3, [leaf("x", 2), leaf("y", 1)]),
+            leaf("z", 1),
+        ])
+
+    def test_node_restart_and_virtual_events(self):
+        h = make_hwf2qplus(self.spec(), rate=1.0)
+        ring = RingBufferSink()
+        h.attach_observer(ring)
+        for _ in range(2):
+            h.enqueue(Packet("x", 1.0), now=0.0)
+        h.enqueue(Packet("y", 1.0), now=0.0)
+        h.enqueue(Packet("z", 1.0), now=0.0)
+        h.drain()
+        restarts = [e for e in ring if e.kind == "node-restart"]
+        updates = [e for e in ring if e.kind == "virtual-time"]
+        assert {e.node for e in restarts} >= {"x", "y", "z", "L"}
+        assert {e.node for e in updates} >= {"root", "L"}
+        # Interior restarts name the selected child and carry consistent tags.
+        for e in restarts:
+            if e.node == "L":
+                assert e.child in ("x", "y")
+                assert e.finish_tag == pytest.approx(
+                    e.start_tag + e.head_length / e.rate)
+
+    def test_root_restart_has_no_tags(self):
+        h = make_hwf2qplus(self.spec(), rate=1.0)
+        ring = RingBufferSink()
+        h.attach_observer(ring)
+        h.enqueue(Packet("z", 1.0), now=0.0)
+        h.drain()
+        roots = [e for e in ring
+                 if e.kind == "node-restart" and e.node == "root"]
+        assert roots
+        assert all(e.start_tag is None for e in roots)
+
+
+class TestSimWiring:
+    def test_link_forwards_observer_to_scheduler(self):
+        sim = Simulator()
+        sched = wf2qplus_two_flows()
+        link = Link(sim, sched)
+        ring = RingBufferSink()
+        bus = link.attach_observer(ring)
+        assert link.observer is bus is sched.observer
+        link.send(Packet("a", 1.0, arrival_time=0.0))
+        sim.run()
+        kinds = [e.kind for e in ring]
+        assert "enqueue" in kinds and "dequeue" in kinds
+        assert link.detach_observer(ring)
+        assert link.observer is None
+
+    def test_simulator_event_hook(self):
+        sim = Simulator()
+        fired = []
+        sim.event_hook = fired.append
+        sim.schedule(0.5, lambda: None)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert len(fired) == 2
+        assert [e.time for e in fired] == [0.5, 1.0]

@@ -1,0 +1,212 @@
+"""Tests for the runtime invariant checker.
+
+Two directions: every scheduler in the zoo must survive a Figure-2-style
+workload under full checking, and a deliberately broken scheduler (largest
+finish tag first — the anti-SEFF policy) must be caught at the offending
+dequeue with a structured violation.
+"""
+
+import pytest
+
+from repro.config import leaf, node
+from repro.core.drr import DRRScheduler
+from repro.core.ffq import FFQScheduler
+from repro.core.fifo import FIFOScheduler
+from repro.core.hierarchy import HPFQScheduler
+from repro.core.packet import Packet
+from repro.core.scfq import SCFQScheduler
+from repro.core.sfq import SFQScheduler
+from repro.core.virtual_clock import VirtualClockScheduler
+from repro.core.wf2q import WF2QScheduler
+from repro.core.wf2qplus import WF2QPlusScheduler
+from repro.core.wfq import WFQScheduler
+from repro.core.wrr import WRRScheduler
+from repro.errors import InvariantViolation
+from repro.obs.events import (
+    DequeueEvent,
+    DropEvent,
+    EnqueueEvent,
+    NodeRestart,
+    VirtualTimeUpdate,
+)
+from repro.obs.invariants import InvariantChecker
+
+ZOO = [FIFOScheduler, WRRScheduler, DRRScheduler, SCFQScheduler,
+       SFQScheduler, VirtualClockScheduler, FFQScheduler, WFQScheduler,
+       WF2QScheduler, WF2QPlusScheduler]
+
+HPFQ_POLICIES = ["wf2qplus", "wfq", "scfq", "sfq"]
+
+
+def fig2_style_drive(sched, sessions=11, burst=11):
+    """The paper's Figure 2 shape: one heavy session vs many light ones,
+    drained over a continuously busy link, then a second busy period."""
+    for _ in range(burst):
+        sched.enqueue(Packet(1, 1.0), now=0.0)
+    for j in range(2, sessions + 1):
+        sched.enqueue(Packet(j, 1.0), now=0.0)
+    records = sched.drain()
+    assert len(records) == burst + sessions - 1
+    # Second busy period: clocks legitimately reset; must not false-alarm.
+    t = records[-1].finish_time + 5.0
+    sched.enqueue(Packet(2, 1.0), now=t)
+    sched.enqueue(Packet(3, 1.0), now=t)
+    sched.drain()
+
+
+@pytest.mark.parametrize("cls", ZOO, ids=lambda c: c.name)
+def test_zoo_passes_full_checking(cls):
+    sched = cls(rate=1.0)
+    sched.add_flow(1, 10)
+    for j in range(2, 12):
+        sched.add_flow(j, 1)
+    checker = InvariantChecker()
+    sched.attach_observer(checker)
+    fig2_style_drive(sched)
+    assert checker.events_checked > 0
+    assert checker.schedulers() == [sched.name]
+
+
+@pytest.mark.parametrize("policy", HPFQ_POLICIES)
+def test_hpfq_passes_full_checking(policy):
+    spec = node("root", 1, [
+        node("heavy", 10, [leaf(1, 1)]),
+        node("light", 10, [leaf(j, 1) for j in range(2, 12)]),
+    ])
+    sched = HPFQScheduler(spec, rate=1.0, policy=policy)
+    checker = InvariantChecker()
+    sched.attach_observer(checker)
+    fig2_style_drive(sched)
+    assert checker.events_checked > 0
+
+
+class LargestFinishFirst(WF2QPlusScheduler):
+    """Anti-SEFF fixture: serves the *largest* finish tag, eligibility
+    ignored — exactly the behaviour the checker exists to catch."""
+
+    name = "broken-LFF"
+
+    def _select_flow(self, now):
+        self._advance_virtual(now)
+        self._promote_eligible()
+        backlogged = [st for st in self._flows.values() if st.queue]
+        return max(backlogged, key=lambda st: (st.finish_tag, -st.index))
+
+
+class TestBrokenScheduler:
+    def drive(self, sched):
+        for _ in range(4):
+            sched.enqueue(Packet("a", 1.0), now=0.0)
+        sched.enqueue(Packet("b", 1.0), now=0.0)
+        sched.drain()
+
+    def test_violation_raised_with_offending_event(self):
+        sched = LargestFinishFirst(rate=1.0)
+        sched.add_flow("a", 1)
+        sched.add_flow("b", 1)
+        sched.attach_observer(InvariantChecker())
+        with pytest.raises(InvariantViolation) as exc_info:
+            self.drive(sched)
+        violation = exc_info.value
+        assert violation.invariant == InvariantChecker.SEFF
+        assert isinstance(violation.event, DequeueEvent)
+        assert violation.event.flow_id == "a"
+        assert violation.event.virtual_start > violation.event.virtual_time
+        assert "ineligible" in str(violation)
+
+    def test_seff_check_can_be_disabled(self):
+        sched = LargestFinishFirst(rate=1.0)
+        sched.add_flow("a", 1)
+        sched.add_flow("b", 1)
+        sched.attach_observer(InvariantChecker(check_seff=False))
+        self.drive(sched)  # only the SEFF property is broken
+
+
+class TestFabricatedStreams:
+    """Feed the checker synthetic event sequences to pin each invariant."""
+
+    def test_backlog_conservation_enqueue(self):
+        checker = InvariantChecker()
+        checker.accept(EnqueueEvent(0.0, "S", "a", 1, 100, 1, 1))
+        with pytest.raises(InvariantViolation) as exc_info:
+            # Claims backlog 5 after a single further enqueue.
+            checker.accept(EnqueueEvent(1.0, "S", "a", 2, 100, 5, 2))
+        assert exc_info.value.invariant == InvariantChecker.BACKLOG
+
+    def test_backlog_conservation_dequeue(self):
+        checker = InvariantChecker()
+        checker.accept(EnqueueEvent(0.0, "S", "a", 1, 100, 1, 1))
+        with pytest.raises(InvariantViolation):
+            checker.accept(DequeueEvent(1.0, "S", "a", 1, 100, 0.0, 1.0,
+                                        2.0, None, None, None, False, 3))
+
+    def test_drop_counter_must_advance_by_one(self):
+        checker = InvariantChecker()
+        checker.accept(DropEvent(0.0, "S", "a", 1, 100, 1))
+        with pytest.raises(InvariantViolation):
+            checker.accept(DropEvent(1.0, "S", "a", 2, 100, 5))
+
+    def test_virtual_time_must_not_regress(self):
+        checker = InvariantChecker()
+        checker.accept(VirtualTimeUpdate(0.0, "S", None, 2.0))
+        with pytest.raises(InvariantViolation) as exc_info:
+            checker.accept(VirtualTimeUpdate(1.0, "S", None, 1.0))
+        assert exc_info.value.invariant == InvariantChecker.VIRTUAL_MONOTONIC
+
+    def test_virtual_time_reset_is_sanctioned(self):
+        checker = InvariantChecker()
+        checker.accept(VirtualTimeUpdate(0.0, "S", None, 2.0))
+        checker.accept(VirtualTimeUpdate(1.0, "S", None, 0.0, reset=True))
+        checker.accept(VirtualTimeUpdate(2.0, "S", None, 0.5))
+
+    def test_node_clocks_are_independent(self):
+        checker = InvariantChecker()
+        checker.accept(VirtualTimeUpdate(0.0, "H", "n1", 5.0))
+        checker.accept(VirtualTimeUpdate(1.0, "H", "n2", 1.0))  # fine
+
+    def test_tag_consistency_finish_equals_start_plus_service(self):
+        checker = InvariantChecker()
+        with pytest.raises(InvariantViolation) as exc_info:
+            # finish != start + L/r  (should be 1.0 + 100/100 = 2.0)
+            checker.accept(NodeRestart(0.0, "H", "n", "c", 1.0, 9.0,
+                                       0.0, 100, 100.0))
+        assert exc_info.value.invariant == InvariantChecker.TAGS
+
+    def test_tag_start_regression_detected(self):
+        checker = InvariantChecker()
+        checker.accept(NodeRestart(0.0, "H", "n", "c", 4.0, 5.0,
+                                   0.0, 100, 100.0))
+        with pytest.raises(InvariantViolation):
+            checker.accept(NodeRestart(1.0, "H", "n", "c", 2.0, 3.0,
+                                       0.0, 100, 100.0))
+
+    def test_root_restart_without_tags_is_skipped(self):
+        checker = InvariantChecker()
+        checker.accept(NodeRestart(0.0, "H", "root", "c", None, None,
+                                   1.0, 100, None))
+
+    def test_dequeue_tag_order(self):
+        checker = InvariantChecker()
+        checker.accept(EnqueueEvent(0.0, "S", "a", 1, 100, 1, 1))
+        with pytest.raises(InvariantViolation) as exc_info:
+            checker.accept(DequeueEvent(1.0, "S", "a", 1, 100, 0.0, 1.0,
+                                        2.0, 3.0, 1.0, None, False, 0))
+        assert exc_info.value.invariant == InvariantChecker.TAGS
+
+    def test_mid_stream_attachment_adopts_counts(self):
+        checker = InvariantChecker()
+        # First observed event claims backlog 7 — adopted, not flagged.
+        checker.accept(EnqueueEvent(0.0, "S", "a", 1, 100, 7, 3))
+        checker.accept(EnqueueEvent(1.0, "S", "a", 2, 100, 8, 4))
+
+    def test_buffer_drops_preserve_conservation(self):
+        """End-to-end: enqueues - dequeues - drops == backlog with drops."""
+        sched = FIFOScheduler(rate=1000.0)
+        sched.add_flow("a", 1)
+        sched.set_buffer_limit("a", 2)
+        checker = InvariantChecker()
+        sched.attach_observer(checker)
+        for _ in range(5):
+            sched.enqueue(Packet("a", 100.0), now=0.0)
+        sched.drain()
+        assert checker.events_checked == 5 + 2  # 2 enq + 3 drops + 2 deq

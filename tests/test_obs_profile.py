@@ -1,0 +1,119 @@
+"""Tests for the opt-in hot-path profiler."""
+
+import pytest
+
+from repro.core.fifo import FIFOScheduler
+from repro.errors import EmptySchedulerError
+from repro.core.packet import Packet
+from repro.obs.profile import OpStats, SchedulerProfiler, percentile
+
+
+def fifo():
+    s = FIFOScheduler(rate=1000.0)
+    s.add_flow("a", 1)
+    return s
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_bad_quantile(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 0.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+    def test_selection(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(samples, 0.25) == 1.0
+        assert percentile(samples, 0.5) == 2.0
+        assert percentile(samples, 1.0) == 4.0
+        assert percentile([7.0], 0.01) == 7.0
+
+
+class TestOpStats:
+    def test_empty(self):
+        stats = OpStats([])
+        assert stats.count == 0
+        assert stats.mean == stats.p99 == stats.max == 0.0
+
+    def test_summary_fields(self):
+        stats = OpStats([3.0, 1.0, 2.0])
+        assert stats.count == 3
+        assert stats.total == 6.0
+        assert stats.mean == 2.0
+        assert stats.p50 == 2.0
+        assert stats.max == 3.0
+        d = stats.to_dict()
+        assert d["count"] == 3 and d["p99"] == 3.0
+
+
+class TestSchedulerProfiler:
+    def test_sample_counts_match_operations(self):
+        s = fifo()
+        prof = SchedulerProfiler(s)
+        for _ in range(5):
+            s.enqueue(Packet("a", 10.0), now=0.0)
+        for _ in range(5):
+            s.dequeue()
+        with pytest.raises(EmptySchedulerError):
+            s.dequeue()  # the failing call is timed too (finally-path)
+        prof.detach()
+        assert len(prof.enqueue_samples) == 5
+        assert len(prof.dequeue_samples) == 6
+        assert all(t >= 0 for t in prof.enqueue_samples)
+
+    def test_percentiles_ordered(self):
+        s = fifo()
+        prof = SchedulerProfiler(s)
+        for _ in range(50):
+            s.enqueue(Packet("a", 10.0), now=0.0)
+        for _ in range(50):
+            s.dequeue()
+        prof.detach()
+        stats = prof.summary()["enqueue"]
+        assert stats.count == 50
+        assert 0 <= stats.p50 <= stats.p90 <= stats.p99 <= stats.max
+        assert "enqueue" in prof.format_report()
+
+    def test_detach_restores_class_methods(self):
+        s = fifo()
+        prof = SchedulerProfiler(s)
+        assert "enqueue" in vars(s)  # wrapper shadows the class method
+        prof.detach()
+        assert "enqueue" not in vars(s)
+        assert "dequeue" not in vars(s)
+        assert not prof.attached
+        prof.detach()  # idempotent
+        s.enqueue(Packet("a", 10.0), now=0.0)  # untimed
+        assert len(prof.enqueue_samples) == 0
+
+    def test_scheduler_semantics_unchanged_under_profiling(self):
+        s = fifo()
+        with SchedulerProfiler(s) as prof:
+            s.enqueue(Packet("a", 10.0), now=0.0)
+            record = s.dequeue()
+        assert record.flow_id == "a"
+        assert record.finish_time == pytest.approx(0.01)
+        assert prof.enqueue_samples and prof.dequeue_samples
+        assert not prof.attached  # context exit detaches
+
+    def test_reset_keeps_attachment(self):
+        s = fifo()
+        prof = SchedulerProfiler(s)
+        s.enqueue(Packet("a", 10.0), now=0.0)
+        prof.reset()
+        assert prof.attached
+        assert len(prof.enqueue_samples) == 0
+        s.enqueue(Packet("a", 10.0), now=0.0)
+        assert len(prof.enqueue_samples) == 1
+        prof.detach()
+
+    def test_injectable_clock(self):
+        ticks = iter(range(100))
+        s = fifo()
+        prof = SchedulerProfiler(s, clock=lambda: next(ticks))
+        s.enqueue(Packet("a", 10.0), now=0.0)
+        prof.detach()
+        assert prof.enqueue_samples == [1]  # t1 - t0 with a unit-step clock

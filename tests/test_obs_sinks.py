@@ -1,0 +1,175 @@
+"""Tests for the observability sinks: ring buffer, JSONL, metrics."""
+
+import io
+
+import pytest
+
+from repro.core.fifo import FIFOScheduler
+from repro.core.packet import Packet
+from repro.core.wf2qplus import WF2QPlusScheduler
+from repro.obs.events import EnqueueEvent, VirtualTimeUpdate
+from repro.obs.sinks import (
+    CallbackSink,
+    JSONLSink,
+    MetricsSink,
+    RingBufferSink,
+    read_jsonl,
+)
+
+
+def make_events(n):
+    return [EnqueueEvent(float(i), "S", "a", i, 100, i + 1, i + 1)
+            for i in range(n)]
+
+
+class TestCallbackSink:
+    def test_forwards(self):
+        seen = []
+        sink = CallbackSink(seen.append)
+        for e in make_events(3):
+            sink.accept(e)
+        assert len(seen) == 3
+
+
+class TestRingBuffer:
+    def test_keeps_order_below_capacity(self):
+        ring = RingBufferSink(capacity=10)
+        events = make_events(4)
+        for e in events:
+            ring.accept(e)
+        assert ring.events() == events
+        assert len(ring) == 4
+        assert ring.total_seen == 4
+
+    def test_eviction_order_oldest_first(self):
+        ring = RingBufferSink(capacity=4)
+        events = make_events(10)
+        for e in events:
+            ring.accept(e)
+        # Only the 4 newest survive, still oldest-first within the window.
+        assert ring.events() == events[-4:]
+        assert len(ring) == 4
+        assert ring.total_seen == 10
+
+    def test_clear(self):
+        ring = RingBufferSink(capacity=4)
+        for e in make_events(3):
+            ring.accept(e)
+        ring.clear()
+        assert len(ring) == 0
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)
+
+
+class TestJSONL:
+    def run_workload(self, sink):
+        """A small mixed workload: enqueues, dequeues, tag/V updates."""
+        s = WF2QPlusScheduler(rate=1.0)
+        s.add_flow("a", 1)
+        s.add_flow("b", 3)
+        ring = RingBufferSink()
+        s.attach_observer(ring, sink)
+        for _ in range(3):
+            s.enqueue(Packet("a", 1.0), now=0.0)
+        s.enqueue(Packet("b", 2.0), now=0.0)
+        s.drain()
+        return ring.events()
+
+    def test_round_trip_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JSONLSink(str(path))
+        emitted = self.run_workload(sink)
+        sink.close()
+        parsed = read_jsonl(str(path))
+        assert parsed == emitted
+        assert sink.events_written == len(emitted) > 0
+
+    def test_round_trip_file_object(self):
+        buf = io.StringIO()
+        sink = JSONLSink(buf)
+        emitted = self.run_workload(sink)
+        sink.close()  # flushes but must not close a borrowed file
+        assert not buf.closed
+        buf.seek(0)
+        parsed = read_jsonl(buf)
+        assert parsed == emitted
+
+    def test_drop_events_round_trip(self, tmp_path):
+        path = tmp_path / "drops.jsonl"
+        s = FIFOScheduler(rate=1000.0)
+        s.add_flow("a", 1)
+        s.set_buffer_limit("a", 1)
+        sink = JSONLSink(str(path))
+        ring = RingBufferSink()
+        s.attach_observer(ring, sink)
+        s.enqueue(Packet("a", 10.0), now=0.0)
+        s.enqueue(Packet("a", 10.0), now=0.0)  # dropped
+        s.dequeue()
+        sink.close()
+        assert read_jsonl(str(path)) == ring.events()
+
+
+class TestMetricsSink:
+    def saturate(self, metrics):
+        s = WF2QPlusScheduler(rate=1000.0)
+        s.add_flow("a", 1)
+        s.add_flow("b", 3)
+        s.set_buffer_limit("a", 2)
+        s.attach_observer(metrics)
+        for _ in range(4):
+            s.enqueue(Packet("a", 100.0), now=0.0)  # 2 accepted, 2 dropped
+        for _ in range(2):
+            s.enqueue(Packet("b", 100.0), now=0.0)
+        s.drain()
+        return s
+
+    def test_counters_and_gauges(self):
+        metrics = MetricsSink()
+        self.saturate(metrics)
+        a = metrics.flow("a")
+        b = metrics.flow("b")
+        assert a.enqueues == 2 and a.drops == 2 and a.dequeues == 2
+        assert b.enqueues == 2 and b.drops == 0 and b.dequeues == 2
+        assert a.bits_in == a.bits_out == 200.0
+        assert a.max_queue_len == 2
+        assert metrics.max_backlog == 4
+        assert metrics.backlog == 0
+        assert metrics.total("enqueues") == 4
+        assert metrics.total("drops") == 2
+
+    def test_delay_statistics(self):
+        metrics = MetricsSink()
+        self.saturate(metrics)
+        a = metrics.flow("a")
+        assert a.delay_count == 2
+        assert a.delay_max >= a.delay_mean > 0
+        # Histogram percentile is a conservative (upper-bound) estimate.
+        assert metrics.delay_percentile(0.99) >= a.delay_mean
+        assert metrics.delay_percentile(0.5, "b") > 0
+
+    def test_no_delays_percentile_is_zero(self):
+        metrics = MetricsSink()
+        assert metrics.delay_percentile(0.99) == 0.0
+        with pytest.raises(ValueError):
+            metrics.delay_percentile(0.0)
+
+    def test_summary_and_report(self):
+        metrics = MetricsSink()
+        self.saturate(metrics)
+        summary = metrics.summary()
+        assert summary["flows"]["a"]["drops"] == 2
+        assert summary["max_backlog"] == 4
+        report = metrics.format_report()
+        assert "flow" in report and "total" in report
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsSink(buckets=(1.0, 1.0))
+
+    def test_ignores_virtual_time_events(self):
+        metrics = MetricsSink()
+        metrics.accept(VirtualTimeUpdate(0.0, "S", None, 1.0))
+        assert metrics.flows() == []
+        assert metrics.events_seen == 1

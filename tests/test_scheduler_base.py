@@ -158,3 +158,51 @@ class TestFIFOOrder:
         s.enqueue(Packet("small", 10), now=0)
         s.enqueue(Packet("big", 10), now=0)
         assert s.dequeue().flow_id == "small"
+
+
+class TestRemoveFlowHygiene:
+    """A removed flow id must leave no per-flow state behind."""
+
+    def test_buffer_limit_does_not_survive_reregistration(self, sched):
+        sched.set_buffer_limit("a", 1)
+        sched.remove_flow("a")
+        sched.add_flow("a", 2)
+        # The old 1-packet cap must not silently apply to the new flow.
+        assert sched.enqueue(Packet("a", 10), now=0) is True
+        assert sched.enqueue(Packet("a", 10), now=0) is True
+        assert sched.drops("a") == 0
+
+    def test_drop_counter_does_not_survive_reregistration(self, sched):
+        sched.set_buffer_limit("a", 1)
+        sched.enqueue(Packet("a", 10), now=0)
+        sched.enqueue(Packet("a", 10), now=0)  # dropped
+        assert sched.drops("a") == 1
+        sched.dequeue()
+        sched.remove_flow("a")
+        sched.add_flow("a", 1)
+        assert sched.drops("a") == 0
+        assert sched.drops() == 0
+
+
+class TestEmptyShareQueries:
+    """Rate/share queries with no registered flows must fail loudly and
+    typed — not with a bare ZeroDivisionError or KeyError."""
+
+    def test_guaranteed_rate_after_removing_all_flows(self, sched):
+        sched.remove_flow("a")
+        sched.remove_flow("b")
+        with pytest.raises(ConfigurationError):
+            sched.guaranteed_rate("a")
+
+    def test_normalized_share_after_removing_all_flows(self, sched):
+        sched.remove_flow("a")
+        sched.remove_flow("b")
+        with pytest.raises(ConfigurationError):
+            sched.normalized_share("a")
+
+    def test_queries_recover_after_reregistration(self, sched):
+        sched.remove_flow("a")
+        sched.remove_flow("b")
+        sched.add_flow("c", 2)
+        assert sched.normalized_share("c") == 1.0
+        assert sched.guaranteed_rate("c") == 1000
