@@ -1,0 +1,241 @@
+"""Named benchmark scenarios for the perf-regression harness.
+
+Each scenario is a function ``(quick: bool) -> list[BenchPoint]``
+registered in :data:`SCENARIOS`.  ``quick`` shrinks the workloads for CI
+(same points, fewer packets/repeats) so a perf-smoke run finishes in
+seconds while a full run produces the committed baseline.
+
+The scenarios target the hot paths this repo optimises:
+
+``saturated_churn``
+    Every flow permanently backlogged; one dequeue + one enqueue per
+    transmitted packet, swept over N.  This is the WF2Q+ steady state —
+    per-packet cost must stay O(log N).
+``bursty_onoff``
+    A large registered population, but each burst backlogs only a small
+    rotating subset and then drains completely, so *every* burst crosses
+    a busy-period boundary.  Before the epoch-based lazy tag reset this
+    boundary cost O(N) per burst, making per-packet cost grow with the
+    registered population; it must now stay flat.
+``hierarchy``
+    H-WF2Q+ saturated churn over a balanced depth × fanout tree — the
+    RESTART-NODE / RESET-PATH recursion cost.
+``zoo``
+    Every scheduler in the zoo on the same fixed churn workload, for
+    cross-algorithm comparison (includes WFQ's O(N) exact-GPS tax).
+"""
+
+from time import perf_counter_ns
+
+from repro.bench.harness import BenchPoint, best_of
+from repro.core.packet import Packet
+
+__all__ = ["SCENARIOS", "run_scenarios", "zoo_registry"]
+
+_LENGTH = 8000.0   # bits; one 1000-byte packet
+_RATE = 1e9        # bps
+
+
+# ----------------------------------------------------------------------
+# Scheduler factories
+# ----------------------------------------------------------------------
+def _flat(cls, n_flows, **kwargs):
+    sched = cls(_RATE, **kwargs)
+    for i in range(n_flows):
+        sched.add_flow(str(i), 1 + (i % 3))
+    return sched
+
+
+def _balanced_tree(depth, fanout):
+    """Balanced H-WF2Q+ spec: ``fanout ** depth`` leaves."""
+    from repro.config import leaf, node
+
+    counter = [0]
+
+    def build(level):
+        if level == depth:
+            name = str(counter[0])
+            counter[0] += 1
+            return leaf(name, 1 + (counter[0] % 3))
+        children = [build(level + 1) for _ in range(fanout)]
+        return node(f"n{level}.{counter[0]}", 1, children)
+
+    return build(0)
+
+
+def zoo_registry():
+    """name -> factory(n_flows) for every scheduler in the zoo."""
+    from repro.core import (
+        DRRScheduler,
+        FFQScheduler,
+        FIFOScheduler,
+        HPFQScheduler,
+        SCFQScheduler,
+        SFQScheduler,
+        VirtualClockScheduler,
+        WF2QPlusScheduler,
+        WF2QScheduler,
+        WFQScheduler,
+        WRRScheduler,
+    )
+
+    def hier(policy):
+        def build(n_flows):
+            depth = 2
+            fanout = max(2, round(n_flows ** (1 / depth)))
+            return HPFQScheduler(
+                _balanced_tree(depth, fanout), _RATE, policy=policy)
+        return build
+
+    return {
+        "FIFO": lambda n: _flat(FIFOScheduler, n),
+        "WRR": lambda n: _flat(WRRScheduler, n),
+        "DRR": lambda n: _flat(DRRScheduler, n),
+        "SCFQ": lambda n: _flat(SCFQScheduler, n),
+        "SFQ": lambda n: _flat(SFQScheduler, n),
+        "VirtualClock": lambda n: _flat(VirtualClockScheduler, n),
+        "FFQ": lambda n: _flat(FFQScheduler, n),
+        "WFQ": lambda n: _flat(WFQScheduler, n),
+        "WF2Q": lambda n: _flat(WF2QScheduler, n),
+        "WF2Q+": lambda n: _flat(WF2QPlusScheduler, n),
+        "H-WF2Q+": hier("wf2qplus"),
+        "H-WFQ": hier("wfq"),
+    }
+
+
+# ----------------------------------------------------------------------
+# Workload drivers (the timed inner loops)
+# ----------------------------------------------------------------------
+def churn_cost(build, packets):
+    """ns/packet of saturated churn on a freshly built scheduler.
+
+    Every flow is pre-filled with two packets (so it never empties while
+    being served), then the timed loop transmits ``packets`` packets,
+    re-enqueueing one to the served flow after each dequeue.
+    """
+    sched = build()
+    flow_ids = sched.flow_ids
+    for fid in flow_ids:
+        sched.enqueue(Packet(fid, _LENGTH), now=0.0)
+        sched.enqueue(Packet(fid, _LENGTH), now=0.0)
+    dequeue, enqueue = sched.dequeue, sched.enqueue
+    t0 = perf_counter_ns()
+    for _ in range(packets):
+        rec = dequeue()
+        enqueue(Packet(rec.flow_id, _LENGTH), now=rec.finish_time)
+    return (perf_counter_ns() - t0) / packets
+
+
+def bursty_cost(build, bursts, burst_flows=8, per_flow=2):
+    """ns/packet of on/off bursts over a large registered population.
+
+    Each burst backlogs ``burst_flows`` flows (rotating through the
+    population) with ``per_flow`` packets, then drains the system
+    completely — so the next burst starts a new busy period.
+    """
+    sched = build()
+    flow_ids = sched.flow_ids
+    n = len(flow_ids)
+    packets = 0
+    now = 0.0
+    t0 = perf_counter_ns()
+    for b in range(bursts):
+        base = (b * burst_flows) % n
+        for j in range(burst_flows):
+            fid = flow_ids[(base + j) % n]
+            for _ in range(per_flow):
+                sched.enqueue(Packet(fid, _LENGTH), now=now)
+        packets += burst_flows * per_flow
+        rec = None
+        while not sched.is_empty:
+            rec = sched.dequeue()
+        now = rec.finish_time + 1e-3  # idle gap: busy period over
+    return (perf_counter_ns() - t0) / packets
+
+
+# ----------------------------------------------------------------------
+# Scenarios
+# ----------------------------------------------------------------------
+def scenario_saturated_churn(quick):
+    from repro.core import WF2QPlusScheduler
+
+    packets = 3000 if quick else 20000
+    repeats = 3
+    points = []
+    for n in (16, 64, 256, 1024):
+        cost = best_of(
+            lambda: churn_cost(lambda: _flat(WF2QPlusScheduler, n), packets),
+            repeats)
+        points.append(BenchPoint(
+            "saturated_churn", "WF2Q+", {"flows": n}, packets, cost))
+    return points
+
+
+def scenario_bursty_onoff(quick):
+    from repro.core import WF2QPlusScheduler
+
+    bursts = 100 if quick else 600
+    repeats = 3
+    points = []
+    for n in (16, 64, 256, 1024):
+        cost = best_of(
+            lambda: bursty_cost(lambda: _flat(WF2QPlusScheduler, n), bursts),
+            repeats)
+        points.append(BenchPoint(
+            "bursty_onoff", "WF2Q+", {"flows": n}, bursts * 16, cost))
+    return points
+
+
+def scenario_hierarchy(quick):
+    from repro.core import HPFQScheduler
+
+    packets = 2000 if quick else 12000
+    repeats = 3
+    points = []
+    for depth, fanout in ((2, 4), (2, 8), (3, 8)):
+        def build(depth=depth, fanout=fanout):
+            return HPFQScheduler(
+                _balanced_tree(depth, fanout), _RATE, policy="wf2qplus")
+        cost = best_of(lambda: churn_cost(build, packets), repeats)
+        points.append(BenchPoint(
+            "hierarchy", "H-WF2Q+",
+            {"depth": depth, "fanout": fanout, "leaves": fanout ** depth},
+            packets, cost))
+    return points
+
+
+def scenario_zoo(quick):
+    packets = 1500 if quick else 6000
+    repeats = 3
+    n = 64
+    points = []
+    for name, factory in zoo_registry().items():
+        cost = best_of(
+            lambda: churn_cost(lambda: factory(n), packets), repeats)
+        points.append(BenchPoint(
+            "zoo", name, {"flows": n}, packets, cost))
+    return points
+
+
+SCENARIOS = {
+    "saturated_churn": scenario_saturated_churn,
+    "bursty_onoff": scenario_bursty_onoff,
+    "hierarchy": scenario_hierarchy,
+    "zoo": scenario_zoo,
+}
+
+
+def run_scenarios(names=None, quick=False, progress=None):
+    """Run the named scenarios (all by default); return the points."""
+    if names is None:
+        names = list(SCENARIOS)
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        raise ValueError(
+            f"unknown scenario(s) {unknown}; choose from {sorted(SCENARIOS)}")
+    points = []
+    for name in names:
+        if progress is not None:
+            progress(name)
+        points.extend(SCENARIOS[name](quick))
+    return points

@@ -8,6 +8,8 @@ Usage (also via ``python -m repro``)::
     python -m repro bounds
     python -m repro stats --scheduler wf2qplus --flows 64 \
         --trace out.jsonl --check
+    python -m repro bench -o BENCH_core.json
+    python -m repro bench --quick --compare BENCH_core.json
 
 Each subcommand prints a compact text report; the benchmarks in
 ``benchmarks/`` remain the canonical figure-regeneration path (they also
@@ -141,6 +143,69 @@ def _cmd_stats(args):
     if jsonl is not None:
         jsonl.close()
         print(f"trace: wrote {jsonl.events_written} events to {jsonl.path}")
+    return 0
+
+
+def _cmd_bench(args):
+    from repro.bench import (
+        SCENARIOS,
+        compare,
+        format_compare,
+        format_table,
+        load,
+        merge_best,
+        run_scenarios,
+        save,
+        to_payload,
+    )
+
+    names = args.scenario or None
+    try:
+        points = run_scenarios(
+            names=names, quick=args.quick,
+            progress=lambda name: print(f"running {name} ..."))
+    except ValueError as exc:
+        print(f"repro bench: {exc}")
+        return 2
+    print()
+    print(format_table(points))
+    if args.output:
+        payload = save(points, args.output)
+        print(f"\nwrote {len(points)} points to {args.output}")
+    else:
+        payload = to_payload(points)
+    if args.compare:
+        try:
+            baseline = load(args.compare)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"repro bench: cannot load baseline: {exc}")
+            return 2
+        rows, regressions = compare(baseline, payload,
+                                    threshold=args.threshold)
+        if regressions:
+            # Re-measure the regressed scenarios once before failing:
+            # on shared runners a single sample of a cheap point can be
+            # off by far more than the threshold.  The minimum per point
+            # wins (noise only ever adds time).
+            retry = sorted({r["scenario"] for r in regressions}
+                           & set(SCENARIOS))
+            if retry:
+                print(f"\npossible regression; re-measuring {retry} "
+                      "to rule out timer noise ...")
+                points = merge_best(
+                    points, run_scenarios(names=retry, quick=args.quick))
+                if args.output:
+                    payload = save(points, args.output)
+                else:
+                    payload = to_payload(points)
+                rows, regressions = compare(baseline, payload,
+                                            threshold=args.threshold)
+        print()
+        print(f"comparison against {args.compare} "
+              f"(rev {baseline.get('git_rev', '?')}):")
+        print(format_compare(rows, threshold=args.threshold))
+        if regressions:
+            return 1
     return 0
 
 
@@ -289,6 +354,25 @@ def build_parser():
     p_stats.add_argument("--check", action="store_true",
                          help="run the invariant checker on every event")
     p_stats.set_defaults(func=_cmd_stats)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the perf harness; optionally compare to a baseline JSON")
+    p_bench.add_argument("--scenario", action="append", metavar="NAME",
+                         help="run only this scenario (repeatable); "
+                              "default: all")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="CI-sized workloads (same points, fewer "
+                              "packets/repeats)")
+    p_bench.add_argument("-o", "--output", metavar="OUT.JSON", default=None,
+                         help="write the results as a bench JSON document")
+    p_bench.add_argument("--compare", metavar="BASELINE.JSON", default=None,
+                         help="compare against a baseline; exit 1 on "
+                              "regression")
+    p_bench.add_argument("--threshold", type=float, default=0.25,
+                         help="regression threshold as a fraction "
+                              "(default 0.25 = +25%%)")
+    p_bench.set_defaults(func=_cmd_bench)
     return parser
 
 

@@ -77,23 +77,27 @@ class FFQScheduler(PacketScheduler):
     # ------------------------------------------------------------------
     def _set_head_tags(self, state, was_flow_empty):
         head = state.head()
+        if state.tag_epoch != self._tag_epoch:
+            state.start_tag = 0  # lazy busy-period reset
+            state.finish_tag = 0
+            state.tag_epoch = self._tag_epoch
         if was_flow_empty:
             state.start_tag = max(state.finish_tag, self._potential)
         else:
             state.start_tag = state.finish_tag
-        state.finish_tag = state.start_tag + head.length / self.guaranteed_rate(state.flow_id)
+        state.finish_tag = state.start_tag + head.length * self._inv_rate(state)
         self._heads.push_or_update(
             state.flow_id, (state.finish_tag, state.index))
         self._starts.push_or_update(state.flow_id, state.start_tag)
 
     def _on_enqueue(self, state, packet, now, was_flow_empty, was_idle):
+        # Lazy O(1) busy-period boundary: epoch bump instead of an O(N)
+        # sweep; flows zero their own stale tags on next read.
         if was_idle and now >= self._free_at:
             self._potential = 0
             self._stamp = now
             self._frame_end = None
-            for st in self._flows.values():
-                st.start_tag = 0
-                st.finish_tag = 0
+            self._tag_epoch += 1
         if was_flow_empty:
             self._advance_potential(now)
             self._set_head_tags(state, True)
@@ -103,10 +107,24 @@ class FFQScheduler(PacketScheduler):
         return self._flows[self._heads.peek_item()]
 
     def _on_dequeued(self, state, packet, now):
-        self._heads.remove(state.flow_id)
-        self._starts.remove(state.flow_id)
-        if state.queue:
-            self._set_head_tags(state, False)
+        heads = self._heads
+        if heads.peek_item() == state.flow_id:
+            # Served flow is the finish-tag heap top: re-key in place.
+            if state.queue:
+                start = state.finish_tag  # Q != 0: S = F
+                state.start_tag = start
+                finish = start + state.queue[0].length * self._inv_rate(state)
+                state.finish_tag = finish
+                heads.replace_top(state.flow_id, (finish, state.index))
+                self._starts.update(state.flow_id, start)
+            else:
+                heads.pop()
+                self._starts.remove(state.flow_id)
+        else:  # subclass with a different selection policy
+            heads.remove(state.flow_id)
+            self._starts.remove(state.flow_id)
+            if state.queue:
+                self._set_head_tags(state, False)
 
     def _make_record(self, state, packet, now, finish):
         return ScheduledPacket(packet, now, finish,

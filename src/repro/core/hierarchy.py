@@ -67,12 +67,14 @@ class _HNode:
     """Runtime state of one tree node (leaf or interior)."""
 
     __slots__ = (
-        "name", "share", "rate", "parent", "children", "is_leaf",
+        "name", "share", "rate", "inv_rate", "parent", "children", "is_leaf",
         "child_index",
         # child-role state: the logical queue to the parent
         "head", "start_tag", "finish_tag",
         # server-role state
         "policy", "virtual", "reference", "busy", "active_child",
+        # lazy busy-period reset stamp (see HPFQScheduler._tree_epoch)
+        "epoch",
         # leaf-role state (the physical queue lives in FlowState)
         "flow_state",
     )
@@ -81,6 +83,9 @@ class _HNode:
         self.name = name
         self.share = share
         self.rate = rate
+        #: 1 / r_n, precomputed once — node rates are fixed at build time,
+        #: so tag updates pay one multiply instead of a division.
+        self.inv_rate = 1 / rate
         self.parent = parent
         self.children = []
         self.child_index = 0
@@ -93,6 +98,7 @@ class _HNode:
         self.reference = 0
         self.busy = False
         self.active_child = None
+        self.epoch = 0
         self.flow_state = None
 
     def __repr__(self):  # pragma: no cover - debug aid
@@ -165,21 +171,25 @@ class WF2QPlusNodePolicy(NodePolicy):
         self._ineligible.discard(child)
 
     def select(self):
-        if not self._starts:
+        starts = self._starts
+        if not starts:
             return None
         # E_n: children with s_m <= max(V_n, Smin_n).  The max with Smin
         # guarantees at least one eligible child (work conservation).
-        threshold = max(self.node.virtual, self._starts.min_key())
-        while self._ineligible and self._ineligible.min_key()[0] <= threshold:
-            child, _key = self._ineligible.pop()
-            self._eligible.push(child, (child.finish_tag, child.child_index))
-        return self._eligible.peek_item()
+        threshold = max(self.node.virtual, starts.min_key())
+        ineligible = self._ineligible
+        eligible = self._eligible
+        while ineligible and ineligible.min_key()[0] <= threshold:
+            child, _key = ineligible.pop()
+            eligible.push(child, (child.finish_tag, child.child_index))
+        return eligible.peek_item()
 
     def on_select(self, child, length):
         node = self.node
         smin = self._starts.min_key()  # selected child is still headed
-        node.virtual = max(node.virtual, smin) + length / node.rate
-        node.reference += length / node.rate
+        dt = length * node.inv_rate
+        node.virtual = max(node.virtual, smin) + dt
+        node.reference += dt
 
     def reset(self):
         self._starts.clear()
@@ -226,7 +236,7 @@ class WFQNodePolicy(NodePolicy):
 
     def on_select(self, child, length):
         node = self.node
-        dt = length / node.rate
+        dt = length * node.inv_rate
         node.reference += dt
         if self._active_phi > 0:
             node.virtual += dt / self._active_phi
@@ -261,7 +271,7 @@ class SCFQNodePolicy(NodePolicy):
     def on_select(self, child, length):
         node = self.node
         node.virtual = child.finish_tag
-        node.reference += length / node.rate
+        node.reference += length * node.inv_rate
 
     def reset(self):
         self._finishes.clear()
@@ -292,7 +302,7 @@ class SFQNodePolicy(NodePolicy):
     def on_select(self, child, length):
         node = self.node
         node.virtual = child.start_tag
-        node.reference += length / node.rate
+        node.reference += length * node.inv_rate
 
     def reset(self):
         self._starts.clear()
@@ -355,6 +365,11 @@ class HPFQScheduler(PacketScheduler):
         #: The packet handed to the link by the previous dequeue; its
         #: RESET-PATH runs when the transmission completes.
         self._in_flight = None
+        #: Busy-period epoch for the lazy whole-tree reset: bumped when the
+        #: system drains; a node whose ``epoch`` is stale zeroes its own
+        #: tags and virtual time on first touch, so the boundary costs O(1)
+        #: instead of O(nodes).
+        self._tree_epoch = 0
 
     @staticmethod
     def _resolve_policy(policy):
@@ -381,10 +396,33 @@ class HPFQScheduler(PacketScheduler):
             self._build(child, node_obj)
 
     # ------------------------------------------------------------------
+    # Lazy busy-period reset
+    # ------------------------------------------------------------------
+    def _touch(self, node):
+        """Zero a node's stale per-busy-period state on first use.
+
+        The paper's semantics zero every node's tags and virtual time when
+        the system drains; doing that eagerly is O(nodes) per boundary.
+        Instead the drain bumps ``_tree_epoch`` and each node re-zeroes
+        itself here the first time the new busy period reaches it.
+        ``head``/``busy``/``active_child`` need no lazy handling: the final
+        RESET-PATH already cleared them on every node, and the per-node
+        policy heaps drained with them.  ``reference`` is cumulative and
+        deliberately survives (W_n(0, t)).
+        """
+        if node.epoch != self._tree_epoch:
+            node.start_tag = 0
+            node.finish_tag = 0
+            node.virtual = 0
+            node.epoch = self._tree_epoch
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def node_virtual_time(self, name):
-        return self._nodes[name].virtual
+        node = self._nodes[name]
+        self._touch(node)
+        return node.virtual
 
     def node_reference_time(self, name):
         return self._nodes[name].reference
@@ -400,7 +438,9 @@ class HPFQScheduler(PacketScheduler):
 
     def system_virtual_time(self, now=None):
         """The root node's virtual time (the hierarchy-wide clock)."""
-        return self._root.virtual
+        root = self._root
+        self._touch(root)
+        return root.virtual
 
     # ------------------------------------------------------------------
     # Observability (emission sites are guarded by the callers)
@@ -438,9 +478,13 @@ class HPFQScheduler(PacketScheduler):
         if leaf.head is not None:
             return  # logical queue busy; the packet waits in the FIFO
         parent = leaf.parent
+        if leaf.epoch != self._tree_epoch:
+            self._touch(leaf)
+        if parent.epoch != self._tree_epoch:
+            self._touch(parent)
         leaf.head = packet
         leaf.start_tag = max(leaf.finish_tag, parent.virtual)
-        leaf.finish_tag = leaf.start_tag + packet.length / leaf.rate
+        leaf.finish_tag = leaf.start_tag + packet.length * leaf.inv_rate
         parent.policy.child_head_set(leaf)
         if self._obs is not None:
             self._emit_head(leaf)
@@ -451,8 +495,12 @@ class HPFQScheduler(PacketScheduler):
     # RESTART-NODE
     # ------------------------------------------------------------------
     def _restart(self, node):
-        child = node.policy.select()
+        if node.epoch != self._tree_epoch:
+            self._touch(node)
         parent = node.parent
+        if parent is not None and parent.epoch != self._tree_epoch:
+            self._touch(parent)
+        child = node.policy.select()
         if child is not None:
             node.active_child = child
             node.head = child.head
@@ -462,7 +510,7 @@ class HPFQScheduler(PacketScheduler):
                     node.start_tag = node.finish_tag
                 else:
                     node.start_tag = max(node.finish_tag, parent.virtual)
-                node.finish_tag = node.start_tag + length / node.rate
+                node.finish_tag = node.start_tag + length * node.inv_rate
             node.busy = True
             node.policy.on_select(child, length)
             if self._obs is not None:
@@ -494,7 +542,7 @@ class HPFQScheduler(PacketScheduler):
                 head = queue[0]
                 node.head = head
                 node.start_tag = node.finish_tag
-                node.finish_tag = node.start_tag + head.length / node.rate
+                node.finish_tag = node.start_tag + head.length * node.inv_rate
                 parent.policy.child_head_set(node)
                 if self._obs is not None:
                     self._emit_head(node)
@@ -515,12 +563,21 @@ class HPFQScheduler(PacketScheduler):
                 raise HierarchyError(
                     "H-PFQ invariant violated: backlog but no selection after reset"
                 )
-            # The system drained: the busy period is over; zero all state so
-            # the next busy period starts fresh (V = T = tags = 0).
-            # Reference times are left alone: W_n(0, t) is cumulative.
-            self._full_reset()
+            # The system drained: the busy period is over; the next one must
+            # start fresh (V = T = tags = 0).  The final RESET-PATH already
+            # cleared every head/busy/active_child and drained the policy
+            # heaps, so only tags and virtual times remain stale — bump the
+            # epoch and let each node zero itself lazily in _touch (O(1)
+            # boundary instead of O(nodes)).  Reference times are left
+            # alone: W_n(0, t) is cumulative.
+            self._tree_epoch += 1
+            if self._obs is not None:
+                # Observers expect explicit reset events, so pay the eager
+                # sweep only when someone is watching.
+                self._full_reset()
 
     def _full_reset(self):
+        epoch = self._tree_epoch
         for node_obj in self._nodes.values():
             node_obj.head = None
             node_obj.start_tag = 0
@@ -528,6 +585,7 @@ class HPFQScheduler(PacketScheduler):
             node_obj.virtual = 0
             node_obj.busy = False
             node_obj.active_child = None
+            node_obj.epoch = epoch
             if node_obj.policy is not None:
                 node_obj.policy.reset()
         if self._obs is not None:

@@ -34,11 +34,15 @@ class SCFQScheduler(PacketScheduler):
 
     def _set_head_tags(self, state, was_flow_empty):
         head = state.head()
+        if state.tag_epoch != self._tag_epoch:
+            state.start_tag = 0  # lazy busy-period reset
+            state.finish_tag = 0
+            state.tag_epoch = self._tag_epoch
         if was_flow_empty:
             state.start_tag = max(state.finish_tag, self._virtual)
         else:
             state.start_tag = state.finish_tag
-        state.finish_tag = state.start_tag + head.length / self.guaranteed_rate(state.flow_id)
+        state.finish_tag = state.start_tag + head.length * self._inv_rate(state)
         self._heads.push_or_update(
             state.flow_id, (state.finish_tag, state.index)
         )
@@ -46,12 +50,12 @@ class SCFQScheduler(PacketScheduler):
     def _on_enqueue(self, state, packet, now, was_flow_empty, was_idle):
         # A new busy period starts only once the in-flight packet (if any)
         # has left the link; an arrival during transmission keeps the
-        # current virtual time and tags.
+        # current virtual time and tags.  Tag clearing is lazy (epoch bump;
+        # each flow zeroes its own tags on next read) so the boundary is
+        # O(1) instead of O(N).
         if was_idle and now >= self._free_at:
             self._virtual = 0
-            for st in self._flows.values():
-                st.start_tag = 0
-                st.finish_tag = 0
+            self._tag_epoch += 1
         if was_flow_empty:
             self._set_head_tags(state, True)
 
@@ -62,9 +66,22 @@ class SCFQScheduler(PacketScheduler):
     def _on_dequeued(self, state, packet, now):
         # Self-clocking: V jumps to the tag of the packet entering service.
         self._virtual = state.finish_tag
-        self._heads.remove(state.flow_id)
-        if state.queue:
-            self._set_head_tags(state, False)
+        heads = self._heads
+        if heads.peek_item() == state.flow_id:
+            # The served flow is the heap top (finish-tag selection), so it
+            # can be re-keyed in a single sift.
+            if state.queue:
+                start = state.finish_tag  # Q != 0: S = F
+                state.start_tag = start
+                finish = start + state.queue[0].length * self._inv_rate(state)
+                state.finish_tag = finish
+                heads.replace_top(state.flow_id, (finish, state.index))
+            else:
+                heads.pop()
+        else:  # subclass with a different selection policy
+            heads.remove(state.flow_id)
+            if state.queue:
+                self._set_head_tags(state, False)
 
     def _make_record(self, state, packet, now, finish):
         return ScheduledPacket(

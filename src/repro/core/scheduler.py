@@ -80,10 +80,20 @@ class FlowState:
     ``index`` is the registration order; schedulers break virtual-tag ties
     by it, which makes service orders deterministic and matches the paper's
     Figure 2 convention (session 1, registered first, wins its ties).
+
+    ``tag_epoch`` implements the lazy busy-period tag reset: schedulers that
+    zero all tags at a busy-period boundary bump their scheduler-wide epoch
+    instead of touching every flow, and a flow's stale tags are zeroed the
+    next time they are read (see ``PacketScheduler._tag_epoch``).
+
+    ``inv_rate`` caches ``1 / r_i`` (the inverse guaranteed rate) so tag
+    updates are one multiply instead of a share-normalising division chain;
+    ``rate_gen`` is the share-generation stamp that invalidates the cache
+    when the total share or the link rate changes.
     """
 
     __slots__ = ("config", "queue", "start_tag", "finish_tag", "bits_queued",
-                 "index")
+                 "index", "tag_epoch", "inv_rate", "rate_gen")
 
     def __init__(self, config, index=0):
         self.config = config
@@ -92,6 +102,9 @@ class FlowState:
         self.finish_tag = 0
         self.bits_queued = 0
         self.index = index
+        self.tag_epoch = 0
+        self.inv_rate = None
+        self.rate_gen = -1
 
     @property
     def flow_id(self):
@@ -126,17 +139,21 @@ class PacketScheduler:
     seff = False
 
     def __init__(self, rate):
-        if rate <= 0:
-            raise ConfigurationError(f"link rate must be positive, got {rate!r}")
         #: The attached :class:`~repro.obs.events.EventBus`, or ``None``.
         #: An instance attribute (not a class default) so the hot-path
         #: guard is a single instance-dict hit resolving to this None.
         self._obs = None
-        self.rate = rate
+        #: Generation stamp for the per-flow ``1/r_i`` caches; bumped
+        #: whenever ``_total_share`` or the link rate changes.
+        self._share_gen = 0
+        #: Busy-period epoch for the lazy tag reset (see FlowState).
+        self._tag_epoch = 0
+        self.rate = rate  # property setter validates and bumps _share_gen
         self._flows = {}
         self._next_flow_index = 0
         self._buffer_limits = {}
         self._drops = {}
+        self._drops_total = 0
         self._total_share = 0
         self._backlog_packets = 0
         self._backlog_bits = 0
@@ -144,6 +161,20 @@ class PacketScheduler:
         self._free_at = 0
         self._dequeues = 0
         self._enqueues = 0
+
+    @property
+    def rate(self):
+        """Output link rate in bits per second."""
+        return self._rate
+
+    @rate.setter
+    def rate(self, value):
+        if value <= 0:
+            raise ConfigurationError(
+                f"link rate must be positive, got {value!r}"
+            )
+        self._rate = value
+        self._share_gen += 1
 
     # ------------------------------------------------------------------
     # Flow registration
@@ -163,6 +194,7 @@ class PacketScheduler:
         self._next_flow_index += 1
         self._flows[config.flow_id] = state
         self._total_share += config.share
+        self._share_gen += 1
         self._on_flow_added(state)
         return config
 
@@ -178,11 +210,12 @@ class PacketScheduler:
         self._total_share -= state.share
         if not self._flows:
             self._total_share = 0  # kill float residue from +=/-= churn
+        self._share_gen += 1
         # Per-flow policy state must not leak to a future flow that happens
         # to reuse the id: a stale buffer cap would silently throttle it and
         # a stale drop counter would misattribute losses.
         self._buffer_limits.pop(flow_id, None)
-        self._drops.pop(flow_id, None)
+        self._drops_total -= self._drops.pop(flow_id, 0)
 
     def _flow(self, flow_id):
         try:
@@ -244,11 +277,28 @@ class PacketScheduler:
     def guaranteed_rate(self, flow_id):
         """Absolute guaranteed rate r_i = share_i / total_share * rate."""
         state = self._require_shares(flow_id)
-        return state.share / self._total_share * self.rate
+        return state.share / self._total_share * self._rate
 
     def normalized_share(self, flow_id):
         state = self._require_shares(flow_id)
         return state.share / self._total_share
+
+    def _inv_rate(self, state):
+        """Cached inverse guaranteed rate ``1 / r_i`` for a flow state.
+
+        Tag updates run once per head-of-queue packet; recomputing
+        ``share / total * rate`` there costs an attribute chase and two
+        divisions per packet.  The cache is stamped with ``_share_gen``,
+        which add_flow / remove_flow and the rate setter bump, so it is
+        recomputed only when the underlying quantities actually changed.
+        """
+        gen = self._share_gen
+        if state.rate_gen != gen:
+            state.inv_rate = 1 / (
+                state.config.share / self._total_share * self._rate
+            )
+            state.rate_gen = gen
+        return state.inv_rate
 
     # ------------------------------------------------------------------
     # Observability
@@ -315,9 +365,14 @@ class PacketScheduler:
             self._buffer_limits[flow_id] = packets
 
     def drops(self, flow_id=None):
-        """Packets dropped by the buffer cap (per flow, or total)."""
+        """Packets dropped by the buffer cap (per flow, or total).
+
+        The total is a running counter maintained at drop time, not a
+        sum over the per-flow dict (which TCP experiments query per
+        delivered ack).
+        """
         if flow_id is None:
-            return sum(self._drops.values())
+            return self._drops_total
         return self._drops.get(flow_id, 0)
 
     def enqueue(self, packet, now=None):
@@ -342,12 +397,13 @@ class PacketScheduler:
         if limit is not None and len(state.queue) >= limit:
             drops = self._drops.get(packet.flow_id, 0) + 1
             self._drops[packet.flow_id] = drops
+            self._drops_total += 1
             obs = self._obs
             if obs is not None:
                 obs.emit(DropEvent(now, self.name, packet.flow_id,
                                    packet.uid, packet.length, drops))
             return False
-        was_idle = self.is_empty
+        was_idle = self._backlog_packets == 0
         was_flow_empty = not state.queue
         state.queue.append(packet)
         state.bits_queued += packet.length
@@ -371,7 +427,7 @@ class PacketScheduler:
         Returns a :class:`ScheduledPacket`.  Raises
         :class:`~repro.errors.EmptySchedulerError` when nothing is queued.
         """
-        if self.is_empty:
+        if self._backlog_packets == 0:
             raise EmptySchedulerError(f"{self.name}: dequeue on empty scheduler")
         if now is None:
             now = max(self._clock, self._free_at)
@@ -386,7 +442,7 @@ class PacketScheduler:
         self._backlog_packets -= 1
         self._backlog_bits -= packet.length
         self._dequeues += 1
-        finish = now + packet.length / self.rate
+        finish = now + packet.length / self._rate
         self._free_at = finish
         record = self._make_record(state, packet, now, finish)
         self._on_dequeued(state, packet, now)
@@ -398,7 +454,7 @@ class PacketScheduler:
                 record.virtual_start, record.virtual_finish,
                 self.system_virtual_time(now), self.seff,
                 self._backlog_packets))
-        if self.is_empty:
+        if self._backlog_packets == 0:
             self._on_system_empty(now)
         return record
 

@@ -36,9 +36,11 @@ class VirtualClockScheduler(PacketScheduler):
         self._tags = {}               # packet uid -> (start, finish) tags
 
     def _on_enqueue(self, state, packet, now, was_flow_empty, was_idle):
-        # auxVC update: the flow's clock never lags real time.
+        # auxVC update: the flow's clock never lags real time.  (No busy-
+        # period epoch here — Virtual Clock's whole pathology is that flow
+        # clocks persist across idle periods.)
         start = max(state.finish_tag, now)
-        finish = start + packet.length / self.guaranteed_rate(state.flow_id)
+        finish = start + packet.length * self._inv_rate(state)
         state.finish_tag = finish
         self._tags[packet.uid] = (start, finish)
         if was_flow_empty:
@@ -49,12 +51,22 @@ class VirtualClockScheduler(PacketScheduler):
 
     def _on_dequeued(self, state, packet, now):
         self._tags.pop(packet.uid)
-        self._heads.remove(state.flow_id)
+        heads = self._heads
         head = state.head()
-        if head is not None:
-            self._heads.push(
-                state.flow_id, (self._tags[head.uid][1], state.index)
-            )
+        if heads.peek_item() == state.flow_id:
+            # Served flow is the tag-heap top: re-key in a single sift.
+            if head is not None:
+                heads.replace_top(
+                    state.flow_id, (self._tags[head.uid][1], state.index)
+                )
+            else:
+                heads.pop()
+        else:  # subclass with a different selection policy
+            heads.remove(state.flow_id)
+            if head is not None:
+                heads.push(
+                    state.flow_id, (self._tags[head.uid][1], state.index)
+                )
 
     def _make_record(self, state, packet, now, finish):
         start_tag, finish_tag = self._tags[packet.uid]

@@ -31,6 +31,18 @@ Complexity: one :class:`~repro.dstruct.heap.IndexedHeap` keyed by start tag
 (for the eligibility test and the min-S_i term) plus one keyed by finish tag
 (for SEFF selection) give O(log N) per enqueue/dequeue — the paper's claim
 (c), demonstrated empirically by ``benchmarks/test_complexity_scaling.py``.
+
+Hot-path engineering (none of it changes eq. 27/28-29 semantics — see
+DESIGN.md "Hot-path architecture" and ``tests/test_equivalence_optimized``):
+
+* busy-period tag resets are *lazy*: a per-scheduler epoch counter is
+  bumped at the boundary and a flow's stale tags are zeroed on first read,
+  so the boundary costs O(1) instead of O(N);
+* ``1 / r_i`` is cached per flow (``FlowState.inv_rate``), invalidated by
+  share/rate changes only;
+* the dequeue path re-keys the served flow with single-sift heap
+  operations (``update`` / ``replace_top``) instead of discard + push
+  pairs.
 """
 
 from repro.core.scheduler import PacketScheduler, ScheduledPacket
@@ -94,12 +106,17 @@ class WF2QPlusScheduler(PacketScheduler):
     def _set_head_tags(self, state, was_flow_empty, now):
         """Apply eqs. (28)-(29) for the packet now at the head of ``state``."""
         head = state.head()
+        if state.tag_epoch != self._tag_epoch:
+            # Lazy busy-period reset: this flow's tags are stale leftovers
+            # from a previous busy period (everything was served).
+            state.start_tag = 0
+            state.finish_tag = 0
+            state.tag_epoch = self._tag_epoch
         if was_flow_empty:
             state.start_tag = max(state.finish_tag, self._virtual)
         else:
             state.start_tag = state.finish_tag
-        rate_i = self.guaranteed_rate(state.flow_id)
-        state.finish_tag = state.start_tag + head.length / rate_i
+        state.finish_tag = state.start_tag + head.length * self._inv_rate(state)
         self._register_head(state)
 
     def _register_head(self, state):
@@ -117,10 +134,16 @@ class WF2QPlusScheduler(PacketScheduler):
             )
 
     def _promote_eligible(self):
-        while self._ineligible and self._ineligible.min_key()[0] <= self._virtual:
-            flow_id, _key = self._ineligible.pop()
-            state = self._flows[flow_id]
-            self._eligible.push(flow_id, (state.finish_tag, state.index))
+        ineligible = self._ineligible
+        if not ineligible:
+            return
+        eligible = self._eligible
+        flows = self._flows
+        virtual = self._virtual
+        while ineligible and ineligible.min_key()[0] <= virtual:
+            flow_id, _key = ineligible.pop()
+            state = flows[flow_id]
+            eligible.push(flow_id, (state.finish_tag, state.index))
 
     # ------------------------------------------------------------------
     # Scheduler hooks
@@ -132,12 +155,13 @@ class WF2QPlusScheduler(PacketScheduler):
             # the last packet is still in transmission (now < _free_at)
             # belongs to the *same* busy period — tags must persist, or a
             # returning flow would jump ahead with a fresh S = 0 and break
-            # the Theorem 4 WFI.
+            # the Theorem 4 WFI.  The per-flow clearing is lazy: bumping
+            # the epoch invalidates every flow's tags in O(1); each flow
+            # zeroes its own on the next read (_set_head_tags), so the
+            # boundary no longer costs O(N).
             self._virtual = 0
             self._virtual_stamp = now
-            for st in self._flows.values():
-                st.start_tag = 0
-                st.finish_tag = 0
+            self._tag_epoch += 1
             obs = self._obs
             if obs is not None:
                 obs.emit(VirtualTimeUpdate(now, self.name, None, 0,
@@ -158,11 +182,36 @@ class WF2QPlusScheduler(PacketScheduler):
         self._last_virtual_start = state.start_tag
         self._last_virtual_finish = state.finish_tag
         flow_id = state.flow_id
-        self._eligible.discard(flow_id)
-        self._ineligible.discard(flow_id)
-        self._starts.discard(flow_id)
-        if state.queue:
-            self._set_head_tags(state, False, now)
+        eligible = self._eligible
+        if eligible and eligible.peek_item() == flow_id:
+            # Hot path: SEFF selection always serves the eligible top, so
+            # the flow can be re-keyed in place with single-sift heap ops
+            # instead of the discard x3 + push x2 pattern.  The served
+            # flow's tags are fresh this epoch (they were set when its
+            # head packet was tagged inside the current busy period).
+            if state.queue:
+                start = state.finish_tag          # eq. (28), Q != 0
+                state.start_tag = start
+                finish = start + state.queue[0].length * self._inv_rate(state)
+                state.finish_tag = finish
+                self._starts.update(flow_id, start)
+                if start <= self._virtual:
+                    eligible.replace_top(flow_id, (finish, state.index))
+                else:
+                    eligible.pop()
+                    self._ineligible.push(flow_id, (start, state.index))
+            else:
+                eligible.pop()
+                self._starts.remove(flow_id)
+        else:
+            # Ablation subclasses (no-SEFF / no-floor) may legitimately
+            # serve a flow that is not the eligible top — or is in the
+            # ineligible heap; fall back to the general bookkeeping.
+            eligible.discard(flow_id)
+            self._ineligible.discard(flow_id)
+            self._starts.discard(flow_id)
+            if state.queue:
+                self._set_head_tags(state, False, now)
 
     def _make_record(self, state, packet, now, finish):
         return ScheduledPacket(

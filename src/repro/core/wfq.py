@@ -61,13 +61,24 @@ class WFQScheduler(PacketScheduler):
 
     def _on_dequeued(self, state, packet, now):
         self._last_tags = self._tags.pop(packet.uid)
-        self._head_heap.remove(state.flow_id)
+        heap = self._head_heap
         head = state.head()
-        if head is not None:
-            self._head_heap.push(
-                state.flow_id,
-                (self._tags[head.uid].virtual_finish, state.index),
-            )
+        if heap.peek_item() == state.flow_id:
+            # SFF serves the heap top; re-key it in a single sift.
+            if head is not None:
+                heap.replace_top(
+                    state.flow_id,
+                    (self._tags[head.uid].virtual_finish, state.index),
+                )
+            else:
+                heap.pop()
+        else:  # subclass with a different selection policy
+            heap.remove(state.flow_id)
+            if head is not None:
+                heap.push(
+                    state.flow_id,
+                    (self._tags[head.uid].virtual_finish, state.index),
+                )
 
     def _make_record(self, state, packet, now, finish):
         tags = self._tags[packet.uid]

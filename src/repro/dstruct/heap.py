@@ -7,49 +7,42 @@ lazy deletion or rebuild — either inflate the heap or cost O(N).
 
 :class:`IndexedHeap` keeps a ``position`` map from item to heap slot, so
 
-* ``push``    — O(log N)
-* ``pop``     — O(log N)
-* ``update``  — O(log N) (key may move in either direction)
-* ``remove``  — O(log N)
-* ``peek``    — O(1)
-* ``min_key`` — O(1)
+* ``push``        — O(log N)
+* ``pop``         — O(log N)
+* ``update``      — O(log N) (key may move in either direction)
+* ``remove``      — O(log N)
+* ``replace_top`` — O(log N), one sift (vs two for pop + push)
+* ``peek``        — O(1)
+* ``min_key``     — O(1)
 
 Ties are broken by insertion order (FIFO among equal keys), which the
 schedulers rely on for deterministic, reproducible service order.
+Re-keying an item (``update`` with a *changed* key) refreshes its
+tiebreak, so it queues behind existing entries with the same key; an
+``update`` to the key the item already has is a no-op and keeps its
+position among ties.
 
 Keys only need to support ``<``; items must be hashable and unique.
+
+Heap slots are plain ``(key, seq, item)`` tuples, so every sift
+comparison is a single C-level ``tuple.__lt__`` instead of a Python
+method call — the dominant cost of heap churn in the scheduler hot path.
+``seq`` is unique per heap, so a comparison never falls through to
+``item`` (items need not be comparable); when ``key`` is itself a tuple
+(tag, index), the nested comparison still runs entirely in C.
 """
 
 __all__ = ["IndexedHeap"]
 
 
-class _Entry:
-    """A heap slot: (key, tiebreak sequence, item)."""
-
-    __slots__ = ("key", "seq", "item")
-
-    def __init__(self, key, seq, item):
-        self.key = key
-        self.seq = seq
-        self.item = item
-
-    def __lt__(self, other):
-        if self.key < other.key:
-            return True
-        if other.key < self.key:
-            return False
-        return self.seq < other.seq
-
-    def __repr__(self):  # pragma: no cover - debug aid
-        return f"_Entry(key={self.key!r}, seq={self.seq}, item={self.item!r})"
-
-
 class IndexedHeap:
     """Binary min-heap over unique hashable items with updatable keys."""
 
+    __slots__ = ("_heap", "_pos", "_seq")
+
     def __init__(self):
-        self._heap = []
-        self._pos = {}
+        self._heap = []   # (key, seq, item) tuples
+        self._pos = {}    # item -> heap index
         self._seq = 0
 
     # ------------------------------------------------------------------
@@ -66,26 +59,33 @@ class IndexedHeap:
 
     def __iter__(self):
         """Iterate over items in arbitrary (heap) order."""
-        return (entry.item for entry in self._heap)
+        return (entry[2] for entry in self._heap)
 
     def key_of(self, item):
         """Return the current key of ``item`` (KeyError if absent)."""
-        return self._heap[self._pos[item]].key
+        return self._heap[self._pos[item]][0]
 
     def peek(self):
         """Return the (item, key) pair with the smallest key without removal."""
         if not self._heap:
             raise IndexError("peek from an empty heap")
-        entry = self._heap[0]
-        return entry.item, entry.key
+        key, _seq, item = self._heap[0]
+        return item, key
 
     def peek_item(self):
         """Return only the item with the smallest key."""
-        return self.peek()[0]
+        if not self._heap:
+            raise IndexError("peek from an empty heap")
+        return self._heap[0][2]
+
+    #: Alias with the list-index spelling used by hot paths.
+    top_item = peek_item
 
     def min_key(self):
         """Return the smallest key currently in the heap."""
-        return self.peek()[1]
+        if not self._heap:
+            raise IndexError("peek from an empty heap")
+        return self._heap[0][0]
 
     # ------------------------------------------------------------------
     # Mutation
@@ -94,39 +94,74 @@ class IndexedHeap:
         """Insert ``item`` with ``key``.  Raises ValueError if present."""
         if item in self._pos:
             raise ValueError(f"item already in heap: {item!r}")
-        entry = _Entry(key, self._seq, item)
+        entry = (key, self._seq, item)
         self._seq += 1
-        self._heap.append(entry)
-        self._pos[item] = len(self._heap) - 1
-        self._sift_up(len(self._heap) - 1)
+        heap = self._heap
+        heap.append(entry)
+        self._pos[item] = len(heap) - 1
+        self._sift_up(len(heap) - 1)
 
     def pop(self):
         """Remove and return the (item, key) pair with the smallest key."""
-        if not self._heap:
+        heap = self._heap
+        if not heap:
             raise IndexError("pop from an empty heap")
-        top = self._heap[0]
-        last = self._heap.pop()
-        del self._pos[top.item]
-        if self._heap:
-            self._heap[0] = last
-            self._pos[last.item] = 0
+        key, _seq, item = heap[0]
+        last = heap.pop()
+        del self._pos[item]
+        if heap:
+            heap[0] = last
+            self._pos[last[2]] = 0
             self._sift_down(0)
-        return top.item, top.key
+        return item, key
+
+    def replace_top(self, item, key):
+        """Replace the smallest entry with ``(item, key)`` in one sift.
+
+        Equivalent to ``pop()`` followed by ``push(item, key)`` — including
+        the fresh FIFO tiebreak for the incoming entry — but with a single
+        sift-down instead of two sifts.  ``item`` may be the evicted item
+        itself (re-keying the top) or any item not already in the heap.
+        Returns the evicted ``(item, key)`` pair.
+        """
+        heap = self._heap
+        if not heap:
+            raise IndexError("replace_top on an empty heap")
+        old_key, _seq, old_item = heap[0]
+        pos = self._pos
+        del pos[old_item]
+        if item in pos:
+            pos[old_item] = 0  # undo before failing
+            raise ValueError(f"item already in heap: {item!r}")
+        heap[0] = (key, self._seq, item)
+        self._seq += 1
+        pos[item] = 0
+        self._sift_down(0)
+        return old_item, old_key
+
+    #: :func:`heapq.heapreplace` analogue (pop the min, push a new entry,
+    #: one sift).  Same operation as :meth:`replace_top`.
+    pop_push = replace_top
 
     def update(self, item, key):
-        """Change the key of ``item`` (KeyError if absent)."""
+        """Change the key of ``item`` (KeyError if absent).
+
+        A changed key refreshes the FIFO tiebreak (the item queues behind
+        existing equal keys, as a fresh push would).  An *unchanged* key is
+        a no-op: the item keeps its position among ties instead of being
+        gratuitously reshuffled behind them.
+        """
         index = self._pos[item]
-        entry = self._heap[index]
-        old_key = entry.key
-        entry.key = key
-        # Refresh the tiebreak so re-keyed items queue behind equal keys,
-        # matching the FIFO-among-ties convention for fresh pushes.
-        entry.seq = self._seq
-        self._seq += 1
+        old_key = self._heap[index][0]
         if key < old_key:
+            self._heap[index] = (key, self._seq, item)
+            self._seq += 1
             self._sift_up(index)
-        else:
+        elif old_key < key:
+            self._heap[index] = (key, self._seq, item)
+            self._seq += 1
             self._sift_down(index)
+        # else: keys compare equal — keep entry and tiebreak untouched.
 
     def push_or_update(self, item, key):
         """Insert ``item`` or change its key if already present."""
@@ -138,15 +173,16 @@ class IndexedHeap:
     def remove(self, item):
         """Remove ``item`` (KeyError if absent) and return its key."""
         index = self._pos.pop(item)
-        entry = self._heap[index]
-        last = self._heap.pop()
-        if index < len(self._heap):
-            self._heap[index] = last
-            self._pos[last.item] = index
+        heap = self._heap
+        key = heap[index][0]
+        last = heap.pop()
+        if index < len(heap):
+            heap[index] = last
+            self._pos[last[2]] = index
             # The displaced entry may need to move either way.
             self._sift_up(index)
-            self._sift_down(self._pos[last.item])
-        return entry.key
+            self._sift_down(self._pos[last[2]])
+        return key
 
     def discard(self, item):
         """Remove ``item`` if present; return True if it was removed."""
@@ -165,20 +201,23 @@ class IndexedHeap:
     # ------------------------------------------------------------------
     def _sift_up(self, index):
         heap = self._heap
+        pos = self._pos
         entry = heap[index]
         while index > 0:
             parent = (index - 1) >> 1
-            if entry < heap[parent]:
-                heap[index] = heap[parent]
-                self._pos[heap[index].item] = index
+            parent_entry = heap[parent]
+            if entry < parent_entry:
+                heap[index] = parent_entry
+                pos[parent_entry[2]] = index
                 index = parent
             else:
                 break
         heap[index] = entry
-        self._pos[entry.item] = index
+        pos[entry[2]] = index
 
     def _sift_down(self, index):
         heap = self._heap
+        pos = self._pos
         size = len(heap)
         entry = heap[index]
         while True:
@@ -188,22 +227,23 @@ class IndexedHeap:
             right = child + 1
             if right < size and heap[right] < heap[child]:
                 child = right
-            if heap[child] < entry:
-                heap[index] = heap[child]
-                self._pos[heap[index].item] = index
+            child_entry = heap[child]
+            if child_entry < entry:
+                heap[index] = child_entry
+                pos[child_entry[2]] = index
                 index = child
             else:
                 break
         heap[index] = entry
-        self._pos[entry.item] = index
+        pos[entry[2]] = index
 
     def check_invariants(self):
         """Validate heap order and the position map (for tests)."""
         for index, entry in enumerate(self._heap):
-            if self._pos[entry.item] != index:
+            if self._pos[entry[2]] != index:
                 raise AssertionError(
-                    f"position map stale for {entry.item!r}: "
-                    f"map says {self._pos[entry.item]}, actual {index}"
+                    f"position map stale for {entry[2]!r}: "
+                    f"map says {self._pos[entry[2]]}, actual {index}"
                 )
             child = 2 * index + 1
             for c in (child, child + 1):

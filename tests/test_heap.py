@@ -140,11 +140,82 @@ class TestTieBreaking:
         assert h.pop()[0] == "b"
         assert h.pop()[0] == "a"
 
+    def test_equal_key_update_is_a_noop(self):
+        # Re-asserting the current key must NOT refresh the FIFO seq:
+        # a flow whose tag is recomputed to the same value keeps its place.
+        h = IndexedHeap()
+        h.push("a", 2)
+        h.push("b", 2)
+        h.update("a", 2)  # same key: "a" stays ahead of "b"
+        assert h.pop()[0] == "a"
+        assert h.pop()[0] == "b"
+
+    def test_equal_tuple_key_update_is_a_noop(self):
+        h = IndexedHeap()
+        h.push("a", (5, 0))
+        h.push("b", (5, 0))
+        h.push_or_update("a", (5, 0))
+        assert [h.pop()[0], h.pop()[0]] == ["a", "b"]
+
     def test_tuple_keys(self):
         h = IndexedHeap()
         h.push("a", (5, 1))
         h.push("b", (5, 0))
         assert h.pop()[0] == "b"
+
+
+class TestReplaceTop:
+    def test_replace_top_returns_evicted_min(self):
+        h = IndexedHeap()
+        h.push("a", 1)
+        h.push("b", 5)
+        assert h.replace_top("c", 3) == ("a", 1)
+        assert "a" not in h
+        assert h.pop() == ("c", 3)
+        assert h.pop() == ("b", 5)
+
+    def test_replace_top_same_item_rekeys(self):
+        h = IndexedHeap()
+        h.push("a", 1)
+        h.push("b", 2)
+        assert h.replace_top("a", 10) == ("a", 1)
+        assert h.pop()[0] == "b"
+        assert h.pop() == ("a", 10)
+
+    def test_replace_top_empty_raises(self):
+        with pytest.raises(IndexError):
+            IndexedHeap().replace_top("a", 1)
+
+    def test_replace_top_duplicate_item_raises_and_preserves_heap(self):
+        h = IndexedHeap()
+        h.push("a", 1)
+        h.push("b", 5)
+        with pytest.raises(ValueError):
+            h.replace_top("b", 0)  # "b" is already in the heap (not at top)
+        h.check_invariants()
+        assert h.pop() == ("a", 1)
+        assert h.pop() == ("b", 5)
+
+    def test_replace_top_singleton(self):
+        h = IndexedHeap()
+        h.push("a", 7)
+        assert h.replace_top("b", 3) == ("a", 7)
+        assert h.peek() == ("b", 3)
+
+    def test_replace_top_requeues_behind_equal_keys(self):
+        # The replacement gets a fresh seq, identical to discard-then-push.
+        h = IndexedHeap()
+        h.push("a", 1)
+        h.push("b", 2)
+        h.replace_top("a", 2)
+        assert h.pop()[0] == "b"
+        assert h.pop()[0] == "a"
+
+    def test_pop_push_is_replace_top(self):
+        h = IndexedHeap()
+        h.push("a", 1)
+        assert h.pop_push("b", 4) == ("a", 1)
+        assert h.peek() == ("b", 4)
 
 
 class TestRandomized:
@@ -181,6 +252,68 @@ class TestRandomized:
                 h.check_invariants()
         h.check_invariants()
 
+    def test_differential_vs_sorted_reference(self):
+        """Every op (incl. replace_top/pop_push) against a brute-force
+        model, with structural invariants checked after each one."""
+        rng = random.Random(1996)
+        h = IndexedHeap()
+        model = {}  # item -> (key, seq); min of values == heap top
+        seq = 0
+        next_item = 0
+        for _step in range(3000):
+            op = rng.random()
+            if op < 0.35 or not model:
+                item, key = next_item, rng.randint(0, 60)
+                next_item += 1
+                h.push(item, key)
+                model[item] = (key, seq)
+                seq += 1
+            elif op < 0.5:
+                item = rng.choice(sorted(model))
+                key = rng.randint(0, 60)
+                h.update(item, key)
+                if key != model[item][0]:
+                    model[item] = (key, seq)
+                    seq += 1
+            elif op < 0.6:
+                item = rng.choice(sorted(model))
+                assert h.remove(item) == model.pop(item)[0]
+            elif op < 0.75:
+                expected = min(model.items(), key=lambda kv: kv[1])
+                assert h.pop() == (expected[0], expected[1][0])
+                del model[expected[0]]
+            elif op < 0.9:
+                # replace_top: evict the min, insert a fresh item.
+                expected = min(model.items(), key=lambda kv: kv[1])
+                item, key = next_item, rng.randint(0, 60)
+                next_item += 1
+                assert h.replace_top(item, key) == (
+                    expected[0], expected[1][0])
+                del model[expected[0]]
+                model[item] = (key, seq)
+                seq += 1
+            else:
+                # pop_push re-keying the current top item (the WF2Q+
+                # dequeue hot path: served flow re-enters with a new tag).
+                expected = min(model.items(), key=lambda kv: kv[1])
+                item = expected[0]
+                key = rng.randint(0, 60)
+                assert h.pop_push(item, key) == (item, expected[1][0])
+                model[item] = (key, seq)
+                seq += 1
+            h.check_invariants()
+            if model:
+                expected = min(model.items(), key=lambda kv: kv[1])
+                assert h.peek() == (expected[0], expected[1][0])
+                assert h.min_key() == expected[1][0]
+            assert len(h) == len(model)
+        # Drain and confirm full ordering agreement.
+        while model:
+            expected = min(model.items(), key=lambda kv: kv[1])
+            assert h.pop() == (expected[0], expected[1][0])
+            del model[expected[0]]
+        assert not h
+
 
 @st.composite
 def heap_ops(draw):
@@ -188,7 +321,8 @@ def heap_ops(draw):
     n = draw(st.integers(min_value=1, max_value=60))
     ops = []
     for i in range(n):
-        op = draw(st.sampled_from(["push", "pop", "update", "remove"]))
+        op = draw(st.sampled_from(
+            ["push", "pop", "update", "remove", "replace"]))
         key = draw(st.integers(min_value=-50, max_value=50))
         ops.append((op, i, key))
     return ops
@@ -221,13 +355,27 @@ class TestHypothesis:
                 if item not in model:
                     continue
                 h.update(item, key)
-                model[item] = (key, seq)
-                seq += 1
+                if key != model[item][0]:
+                    # equal-key update is a no-op: the FIFO seq survives
+                    model[item] = (key, seq)
+                    seq += 1
             elif op == "remove":
                 if item not in model:
                     continue
                 assert h.remove(item) == model[item][0]
                 del model[item]
+            elif op == "replace":
+                if not model:
+                    continue
+                expected = min(model.items(), key=lambda kv: kv[1])
+                new_item = ("r", item)
+                if new_item in model and new_item != expected[0]:
+                    continue  # replace_top rejects duplicates elsewhere
+                assert h.replace_top(new_item, key) == (
+                    expected[0], expected[1][0])
+                del model[expected[0]]
+                model[new_item] = (key, seq)
+                seq += 1
             h.check_invariants()
         assert len(h) == len(model)
 
