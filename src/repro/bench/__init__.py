@@ -20,6 +20,11 @@ Layout
     flow population — every burst crosses a busy-period boundary),
     ``hierarchy`` (H-WF2Q+ depth × fanout sweep) and ``zoo`` (every
     scheduler in the zoo on one fixed workload).
+:mod:`repro.bench.parallel`
+    Process-parallel sweep execution: ``run_scenarios_parallel`` fans
+    the scenario grid over a multiprocessing pool (``python -m repro
+    bench --jobs N``) and ``parallel_map`` gives the experiment builders
+    the same fan-out.
 """
 
 from repro.bench.harness import (
@@ -34,6 +39,7 @@ from repro.bench.harness import (
     save,
     to_payload,
 )
+from repro.bench.parallel import parallel_map, run_scenarios_parallel
 from repro.bench.scenarios import SCENARIOS, run_scenarios
 
 __all__ = [
@@ -45,8 +51,10 @@ __all__ = [
     "format_table",
     "load",
     "merge_best",
+    "parallel_map",
     "point_key",
     "run_scenarios",
+    "run_scenarios_parallel",
     "save",
     "to_payload",
 ]

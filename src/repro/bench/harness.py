@@ -8,13 +8,20 @@ A benchmark run produces a list of :class:`BenchPoint` — one per
       "generated_at": "2026-01-01T00:00:00Z",
       "git_rev": "abc1234",
       "python": "3.12.1",
+      "platform": {"system": "Linux", "release": "...", "machine": "x86_64",
+                   "processor": "...", "cpu_count": 8},
       "scenarios": [
         {"scenario": "saturated_churn", "scheduler": "WF2Q+",
          "params": {"flows": 1024}, "packets": 20000,
-         "ns_per_packet": 1234.5},
+         "ns_per_packet": 1234.5, "packets_per_sec": 810045.4},
         ...
       ]
     }
+
+``platform`` records where the numbers were measured (regression ratios
+are only meaningful against a baseline from the same machine), and
+``packets_per_sec`` is the derived throughput ``1e9 / ns_per_packet`` —
+redundant on purpose, so dashboards need no arithmetic.
 
 Comparison is keyed on (scenario, scheduler, params) so baselines stay
 valid when scenarios are added or reordered.  A point regresses when::
@@ -28,6 +35,8 @@ workloads sized so a single point still executes thousands of packets.
 """
 
 import json
+import os
+import platform
 import subprocess
 import sys
 import time
@@ -63,6 +72,13 @@ class BenchPoint:
     packets: int = 0
     ns_per_packet: float = 0.0
 
+    @property
+    def packets_per_sec(self):
+        """Derived throughput: packets transmitted per wall-clock second."""
+        if self.ns_per_packet <= 0:
+            return 0.0
+        return 1e9 / self.ns_per_packet
+
     def to_dict(self):
         return {
             "scenario": self.scenario,
@@ -70,6 +86,7 @@ class BenchPoint:
             "params": dict(self.params),
             "packets": self.packets,
             "ns_per_packet": round(self.ns_per_packet, 1),
+            "packets_per_sec": round(self.packets_per_sec, 1),
         }
 
     @classmethod
@@ -145,6 +162,18 @@ def _git_rev():
     return "unknown"
 
 
+def platform_info():
+    """Where the numbers were measured (regressions only compare within
+    one machine; the provenance makes cross-machine diffs self-evident)."""
+    return {
+        "system": platform.system(),
+        "release": platform.release(),
+        "machine": platform.machine(),
+        "processor": platform.processor(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
 def to_payload(points):
     """Build the JSON document for a list of points."""
     return {
@@ -153,6 +182,7 @@ def to_payload(points):
             "%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "git_rev": _git_rev(),
         "python": sys.version.split()[0],
+        "platform": platform_info(),
         "scenarios": [p.to_dict() for p in points],
     }
 

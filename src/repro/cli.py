@@ -158,12 +158,18 @@ def _cmd_bench(args):
         save,
         to_payload,
     )
+    from repro.bench.parallel import run_scenarios_parallel
 
     names = args.scenario or None
     try:
-        points = run_scenarios(
-            names=names, quick=args.quick,
-            progress=lambda name: print(f"running {name} ..."))
+        if args.jobs > 1:
+            points = run_scenarios_parallel(
+                names=names, quick=args.quick, jobs=args.jobs,
+                progress=lambda name: print(f"finished {name} ..."))
+        else:
+            points = run_scenarios(
+                names=names, quick=args.quick,
+                progress=lambda name: print(f"running {name} ..."))
     except ValueError as exc:
         print(f"repro bench: {exc}")
         return 2
@@ -372,6 +378,10 @@ def build_parser():
     p_bench.add_argument("--threshold", type=float, default=0.25,
                          help="regression threshold as a fraction "
                               "(default 0.25 = +25%%)")
+    p_bench.add_argument("--jobs", type=_positive_int, default=1,
+                         metavar="N",
+                         help="run scenarios across N worker processes "
+                              "(same points and ordering as --jobs 1)")
     p_bench.set_defaults(func=_cmd_bench)
     return parser
 

@@ -14,20 +14,37 @@ The three operations follow the paper's pseudocode:
   empty leaf becomes the leaf's logical head, gets tags
   ``s = max(f, V_parent)``, ``f = s + L / r_leaf``, and restarts the parent
   if it is idle.
-* ``RESTART-NODE`` (:meth:`HPFQScheduler._restart`): a node picks the next
-  child by its policy (SEFF for WF2Q+ nodes, SFF for WFQ/SCFQ nodes),
+* ``RESTART-NODE`` (:meth:`HPFQScheduler._restart_path`): a node picks the
+  next child by its policy (SEFF for WF2Q+ nodes, SFF for WFQ/SCFQ nodes),
   adopts the child's head packet, updates its own tags
   (``s = f`` while busy, ``s = max(f, V_parent)`` from idle), advances its
   virtual time, and propagates upward while the parent has no selection.
-* ``RESET-PATH`` (:meth:`HPFQScheduler._reset_path`): when the link finishes
-  a packet, the active path is cleared top-down; at the leaf the next packet
-  (if any) becomes head with ``s = f``, and the leaf's parent is restarted,
-  which re-selects bottom-up through the cleared path.
+* ``RESET-PATH`` (:meth:`HPFQScheduler._complete_transmission`): when the
+  link finishes a packet, the active path is cleared; at the leaf the next
+  packet (if any) becomes head with ``s = f``, and the leaf's parent is
+  restarted, which re-selects bottom-up through the cleared path.
 
 Reference time (Section 4.1): node ``n``'s clock is
 ``T_n = W_n(0, t) / r_n``, advanced by ``L / r_n`` each time the node selects
 a packet of length L.  Consequently the whole hierarchy is *event-driven* —
 no wall-clock input is needed beyond busy-period boundaries.
+
+Hot-path layout
+---------------
+The tree is flattened at build time (dense ``node_id`` ids, precomputed
+leaf→root ``path`` tuples), and the three operations above run as *iterative
+loops over path tuples* — no recursion, no parent-pointer chasing.  At
+WF2Q+ nodes the RESTART chain uses a fused re-selection
+(:meth:`WF2QPlusNodePolicy.reselect`) that folds the served child's re-key,
+the eligibility classification and the virtual-time advance into one pass
+over the policy heaps; the classification against the *final* eligibility
+threshold (instead of the pre-promotion virtual time) is packet-for-packet
+equivalent because the threshold ``max(V_n, Smin_n)`` is non-decreasing
+across consecutive selections of a busy period and heap keys
+``(tag, child_index)`` are unique per child.  When an observability sink is
+attached the generic (unfused) path runs instead, so event ordering is
+byte-identical to the reference implementation and the fused kernels stay
+zero-cost-when-off.
 
 Per-node policies
 -----------------
@@ -38,8 +55,6 @@ eligibility ``s_m <= max(V_n, Smin_n)`` with smallest-finish selection, and
 paper compares against (H-WFQ's large-WFI nodes are what causes its delay
 spikes in Figures 4-7).
 """
-
-from collections import deque
 
 from repro.config.hierarchy_spec import HierarchySpec, NodeSpec
 from repro.core.scheduler import PacketScheduler, ScheduledPacket
@@ -64,11 +79,25 @@ __all__ = [
 
 
 class _HNode:
-    """Runtime state of one tree node (leaf or interior)."""
+    """Runtime state of one tree node (leaf or interior).
+
+    The tree is *flattened* at build time: every node gets a dense
+    integer ``node_id`` (preorder) and a precomputed ``path`` tuple — the
+    chain ``(self, parent, ..., root)`` — so the per-packet ARRIVE /
+    RESET-PATH / RESTART-NODE walks iterate over a tuple of direct
+    references instead of chasing ``parent`` pointers or recursing.  All
+    mutable per-node state (tags, virtual/reference time, epoch) lives in
+    ``__slots__``: one slot load per access, no instance dict.  (A
+    parallel-array layout over ``node_id`` was measured too; in CPython
+    ``list[i]`` indexing plus the id indirection costs more than the
+    direct slot access, so the slots layout is the flat representation.)
+    """
 
     __slots__ = (
         "name", "share", "rate", "inv_rate", "parent", "children", "is_leaf",
         "child_index",
+        # flattened-tree layout (assigned once by HPFQScheduler._flatten)
+        "node_id", "path",
         # child-role state: the logical queue to the parent
         "head", "start_tag", "finish_tag",
         # server-role state
@@ -89,6 +118,8 @@ class _HNode:
         self.parent = parent
         self.children = []
         self.child_index = 0
+        self.node_id = -1
+        self.path = ()
         self.is_leaf = is_leaf
         self.head = None
         self.start_tag = 0
@@ -119,6 +150,12 @@ class NodePolicy:
 
     name = "abstract"
 
+    #: True only on instances whose select/on_select pair can be fused by
+    #: the iterative RESTART kernel (set per instance by HPFQScheduler for
+    #: exact WF2QPlusNodePolicy objects; subclasses with overridden
+    #: selection logic must keep the generic path).
+    fast = False
+
     def __init__(self, node):
         self.node = node
 
@@ -142,18 +179,29 @@ class NodePolicy:
 
 
 class WF2QPlusNodePolicy(NodePolicy):
-    """SEFF with the hierarchical WF2Q+ virtual time (pseudocode line 12)."""
+    """SEFF with the hierarchical WF2Q+ virtual time (pseudocode line 12).
+
+    Two heaps, not three: a child in the eligible heap always has
+    ``s_m <= V_n`` (it was classified against a threshold no larger than
+    the current ``V_n``, which only grows within a busy period), so
+    ``Smin_n <= V_n`` whenever the eligible heap is nonempty and the
+    eligibility threshold ``max(V_n, Smin_n)`` degenerates to ``V_n``.
+    Only when *every* headed child is ineligible does Smin matter — and
+    then it is exactly the ineligible heap's top key.  A dedicated
+    min-start heap (the paper's literal Smin) would be pure overhead.
+    """
 
     name = "wf2qplus"
 
     def __init__(self, node):
         super().__init__(node)
-        self._starts = IndexedHeap()      # all headed children, key = start tag
-        self._eligible = IndexedHeap()    # key = finish tag
-        self._ineligible = IndexedHeap()  # key = start tag
+        self._eligible = IndexedHeap()    # key = (finish tag, child index)
+        self._ineligible = IndexedHeap()  # key = (start tag, child index)
+        #: max(V_n, Smin_n) computed by the last ``select`` — consumed by
+        #: the immediately following ``on_select`` (no mutation between).
+        self._threshold = 0
 
     def child_head_set(self, child):
-        self._starts.push_or_update(child, child.start_tag)
         if child.start_tag <= self.node.virtual:
             self._ineligible.discard(child)
             self._eligible.push_or_update(
@@ -166,35 +214,129 @@ class WF2QPlusNodePolicy(NodePolicy):
             )
 
     def child_head_cleared(self, child):
-        self._starts.discard(child)
         self._eligible.discard(child)
         self._ineligible.discard(child)
 
     def select(self):
-        starts = self._starts
-        if not starts:
-            return None
+        eligible = self._eligible
+        ineligible = self._ineligible
         # E_n: children with s_m <= max(V_n, Smin_n).  The max with Smin
         # guarantees at least one eligible child (work conservation).
-        threshold = max(self.node.virtual, starts.min_key())
-        ineligible = self._ineligible
-        eligible = self._eligible
-        while ineligible and ineligible.min_key()[0] <= threshold:
-            child, _key = ineligible.pop()
-            eligible.push(child, (child.finish_tag, child.child_index))
+        if eligible:
+            threshold = self.node.virtual
+        elif ineligible:
+            threshold = max(self.node.virtual, ineligible.min_key()[0])
+        else:
+            return None
+        ient = ineligible.entries
+        while ient and ient[0][0][0] <= threshold:
+            child = ient[0][2]
+            ineligible.move_top_to(
+                eligible, (child.finish_tag, child.child_index)
+            )
+        self._threshold = threshold
         return eligible.peek_item()
 
-    def on_select(self, child, length):
+    def reselect(self, rekeyed):
+        """Fused ``child_head_set`` + ``select``: return ``(child, threshold)``.
+
+        ``rekeyed`` is a child whose head/tags were just refreshed but not
+        yet pushed into the policy heaps (or None when nothing changed).
+        Instead of classifying it against ``V_n`` and then promoting it in
+        ``select``, it is classified directly against the final eligibility
+        threshold ``max(V_n, Smin_n)``.  This is exact: within a busy period
+        the threshold is non-decreasing across consecutive selections
+        (``on_select`` jumps ``V_n`` to threshold + dt), so any child that
+        the two-step path would have parked in the ineligible heap and
+        promoted later still crosses into the eligible heap before it can
+        ever be selected; heap keys ``(tag, child_index)`` are unique per
+        child, so the different insertion order is unobservable.
+
+        The returned ``threshold`` lets the caller fuse ``on_select`` too:
+        ``V_n <- threshold + L/r_n`` without re-reading Smin.  Returns
+        ``(None, None)`` when no child is headed.
+        """
         node = self.node
-        smin = self._starts.min_key()  # selected child is still headed
+        eligible = self._eligible
+        ineligible = self._ineligible
+        eent = eligible.entries
+        ient = ineligible.entries
+        if rekeyed is not None:
+            # ``rekeyed`` is either the just-served child (still sitting in
+            # the eligible heap under its stale key — it was at the top
+            # when selected) or a freshly headed child absent from both
+            # heaps; it is never in the ineligible heap.
+            rs = rekeyed.start_tag
+            in_eligible = rekeyed in eligible.pos
+            if len(eent) > (1 if in_eligible else 0):
+                # Some *other* eligible child exists => Smin <= V_n.
+                threshold = node.virtual
+            else:
+                smin = rs
+                if ient and ient[0][0][0] < smin:
+                    smin = ient[0][0][0]
+                threshold = node.virtual
+                if smin > threshold:
+                    threshold = smin
+            if rs > threshold:
+                # The re-keyed child parks in the ineligible heap.  In the
+                # saturated steady state it is the just-served child sitting
+                # at the eligible top while the next child to promote sits
+                # at the ineligible top, so both cross-heap moves collapse
+                # into single-sift replace_top swaps (2 sifts, not 4).
+                ikey = (rs, rekeyed.child_index)
+                if in_eligible:
+                    if eent[0][2] is rekeyed:
+                        if ient and ient[0][0][0] <= threshold:
+                            child = ient[0][2]
+                            ineligible.replace_top(rekeyed, ikey)
+                            eligible.replace_top(
+                                child, (child.finish_tag, child.child_index)
+                            )
+                        else:
+                            eligible.move_top_to(ineligible, ikey)
+                    else:
+                        eligible.remove(rekeyed)
+                        ineligible.push(rekeyed, ikey)
+                else:
+                    ineligible.push(rekeyed, ikey)
+            elif in_eligible:
+                eligible.update(
+                    rekeyed, (rekeyed.finish_tag, rekeyed.child_index)
+                )
+            else:
+                eligible.push(
+                    rekeyed, (rekeyed.finish_tag, rekeyed.child_index)
+                )
+        elif eent:
+            threshold = node.virtual
+        elif ient:
+            threshold = node.virtual
+            smin = ient[0][0][0]
+            if smin > threshold:
+                threshold = smin
+        else:
+            return None, None
+        while ient and ient[0][0][0] <= threshold:
+            child = ient[0][2]
+            ineligible.move_top_to(
+                eligible, (child.finish_tag, child.child_index)
+            )
+        # Smin's owner is eligible by construction, so the heap is nonempty.
+        return eent[0][2], threshold
+
+    def on_select(self, child, length):
+        # V_n <- max(V_n, Smin_n) + L/r_n, with max(V_n, Smin_n) already
+        # computed as the eligibility threshold by the paired ``select``.
+        node = self.node
         dt = length * node.inv_rate
-        node.virtual = max(node.virtual, smin) + dt
+        node.virtual = self._threshold + dt
         node.reference += dt
 
     def reset(self):
-        self._starts.clear()
         self._eligible.clear()
         self._ineligible.clear()
+        self._threshold = 0
 
 
 class WFQNodePolicy(NodePolicy):
@@ -348,7 +490,12 @@ class HPFQScheduler(PacketScheduler):
         for node_obj in self._nodes.values():
             if not node_obj.is_leaf:
                 chosen = overrides.pop(node_obj.name, policy)
-                node_obj.policy = self._resolve_policy(chosen)(node_obj)
+                pol = self._resolve_policy(chosen)(node_obj)
+                # Exact type check on purpose: a subclass with overridden
+                # select/on_select must not be silently bypassed by the
+                # fused kernel.
+                pol.fast = type(pol) is WF2QPlusNodePolicy
+                node_obj.policy = pol
         if overrides:
             raise HierarchyError(
                 f"policy overrides for unknown interior nodes: {sorted(overrides)}"
@@ -370,6 +517,7 @@ class HPFQScheduler(PacketScheduler):
         #: tags and virtual time on first touch, so the boundary costs O(1)
         #: instead of O(nodes).
         self._tree_epoch = 0
+        self._flatten()
 
     @staticmethod
     def _resolve_policy(policy):
@@ -394,6 +542,29 @@ class HPFQScheduler(PacketScheduler):
             parent.children.append(node_obj)
         for child in spec_node.children:
             self._build(child, node_obj)
+
+    def _flatten(self):
+        """Assign dense preorder ``node_id`` ids and node→root ``path`` tuples.
+
+        Rates, shares and the topology are fixed at construction, so the
+        ancestor chain of every node can be materialised once; the ARRIVE /
+        RESTART / RESET walks then iterate a tuple of direct references
+        instead of chasing ``parent`` pointers per packet.
+        """
+        order = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            stack.extend(reversed(node.children))
+        for node_id, node in enumerate(order):
+            node.node_id = node_id
+            chain = []
+            cursor = node
+            while cursor is not None:
+                chain.append(cursor)
+                cursor = cursor.parent
+            node.path = tuple(chain)
 
     # ------------------------------------------------------------------
     # Lazy busy-period reset
@@ -477,88 +648,158 @@ class HPFQScheduler(PacketScheduler):
         leaf = self._nodes[packet.flow_id]
         if leaf.head is not None:
             return  # logical queue busy; the packet waits in the FIFO
-        parent = leaf.parent
-        if leaf.epoch != self._tree_epoch:
-            self._touch(leaf)
-        if parent.epoch != self._tree_epoch:
-            self._touch(parent)
+        path = leaf.path
+        parent = path[1]
+        epoch = self._tree_epoch
+        if leaf.epoch != epoch:
+            leaf.start_tag = 0
+            leaf.finish_tag = 0
+            leaf.virtual = 0
+            leaf.epoch = epoch
+        if parent.epoch != epoch:
+            parent.start_tag = 0
+            parent.finish_tag = 0
+            parent.virtual = 0
+            parent.epoch = epoch
         leaf.head = packet
-        leaf.start_tag = max(leaf.finish_tag, parent.virtual)
-        leaf.finish_tag = leaf.start_tag + packet.length * leaf.inv_rate
+        start = leaf.finish_tag
+        if parent.virtual > start:
+            start = parent.virtual
+        leaf.start_tag = start
+        leaf.finish_tag = start + packet.length * leaf.inv_rate
+        if self._obs is None and not parent.busy and parent.policy.fast:
+            # Defer the head-set into the parent's fused re-selection.
+            self._restart_path(path, 1, leaf)
+            return
         parent.policy.child_head_set(leaf)
         if self._obs is not None:
             self._emit_head(leaf)
         if not parent.busy:
-            self._restart(parent)
+            self._restart_path(path, 1, None)
 
     # ------------------------------------------------------------------
     # RESTART-NODE
     # ------------------------------------------------------------------
     def _restart(self, node):
-        if node.epoch != self._tree_epoch:
-            self._touch(node)
-        parent = node.parent
-        if parent is not None and parent.epoch != self._tree_epoch:
-            self._touch(parent)
-        child = node.policy.select()
-        if child is not None:
-            node.active_child = child
-            node.head = child.head
-            length = node.head.length
-            if parent is not None:
-                if node.busy:
-                    node.start_tag = node.finish_tag
+        """RESTART-NODE at ``node`` (cold-path wrapper over the kernel)."""
+        self._restart_path(node.path, 0, None)
+
+    def _restart_path(self, path, index, rekeyed):
+        """Iterative bottom-up RESTART along ``path[index:]``.
+
+        ``rekeyed`` is a child of ``path[index]`` whose head/tags were just
+        refreshed but not yet pushed into its parent's policy heaps: at
+        fused (WF2Q+, unobserved) nodes the push rides along inside
+        :meth:`WF2QPlusNodePolicy.reselect`, saving a separate classify +
+        promote round trip per level.  With an observability sink attached
+        every node takes the generic select/on_select path, so the emitted
+        event stream is identical to the reference implementation.
+        """
+        obs = self._obs
+        epoch = self._tree_epoch
+        n = len(path)
+        while index < n:
+            node = path[index]
+            parent = node.parent
+            if node.epoch != epoch:
+                node.start_tag = 0
+                node.finish_tag = 0
+                node.virtual = 0
+                node.epoch = epoch
+            if parent is not None and parent.epoch != epoch:
+                parent.start_tag = 0
+                parent.finish_tag = 0
+                parent.virtual = 0
+                parent.epoch = epoch
+            pol = node.policy
+            if obs is None and pol.fast:
+                child, threshold = pol.reselect(rekeyed)
+            else:
+                if rekeyed is not None:
+                    pol.child_head_set(rekeyed)
+                child = pol.select()
+                threshold = None
+            rekeyed = None
+            if child is not None:
+                node.active_child = child
+                head = child.head
+                node.head = head
+                dt = head.length * node.inv_rate
+                if parent is not None:
+                    if node.busy:
+                        start = node.finish_tag
+                    else:
+                        start = node.finish_tag
+                        if parent.virtual > start:
+                            start = parent.virtual
+                    node.start_tag = start
+                    node.finish_tag = start + dt
+                node.busy = True
+                if threshold is not None:
+                    # Fused on_select: V_n <- max(V_n, Smin_n) + L/r_n,
+                    # with max(V, Smin) already computed as the threshold.
+                    node.virtual = threshold + dt
+                    node.reference += dt
                 else:
-                    node.start_tag = max(node.finish_tag, parent.virtual)
-                node.finish_tag = node.start_tag + length * node.inv_rate
-            node.busy = True
-            node.policy.on_select(child, length)
-            if self._obs is not None:
-                self._emit_head(node, child.name)
-                self._obs.emit(VirtualTimeUpdate(
-                    self._clock, self.name, node.name, node.virtual))
-            if parent is not None:
-                parent.policy.child_head_set(node)
-                if parent.head is None:
-                    self._restart(parent)
-        else:
-            node.active_child = None
-            node.busy = False
-            if parent is not None:
+                    pol.on_select(child, head.length)
+                if obs is not None:
+                    self._emit_head(node, child.name)
+                    obs.emit(VirtualTimeUpdate(
+                        self._clock, self.name, node.name, node.virtual))
+                if parent is None:
+                    return
+                if parent.head is not None:
+                    parent.policy.child_head_set(node)
+                    return
+                if obs is None and parent.policy.fast:
+                    rekeyed = node  # defer into the parent's reselect
+                else:
+                    parent.policy.child_head_set(node)
+            else:
+                node.active_child = None
+                node.busy = False
+                if parent is None:
+                    return
                 parent.policy.child_head_cleared(node)
-                if parent.head is None:
-                    self._restart(parent)
+                if parent.head is not None:
+                    return
+            index += 1
 
     # ------------------------------------------------------------------
     # RESET-PATH
     # ------------------------------------------------------------------
-    def _reset_path(self, node):
-        node.head = None
-        if node.is_leaf:
-            # The physical packet was already popped by the base dequeue.
-            queue = node.flow_state.queue
-            parent = node.parent
-            if queue:
-                head = queue[0]
-                node.head = head
-                node.start_tag = node.finish_tag
-                node.finish_tag = node.start_tag + head.length * node.inv_rate
-                parent.policy.child_head_set(node)
-                if self._obs is not None:
-                    self._emit_head(node)
-            else:
-                parent.policy.child_head_cleared(node)
-            self._restart(parent)
-        else:
-            child = node.active_child
-            node.active_child = None
-            self._reset_path(child)
-
     def _complete_transmission(self):
         """Run RESET-PATH for the packet returned by the previous dequeue."""
         self._in_flight = None
-        self._reset_path(self._root)
-        if self._root.head is None:
+        root = self._root
+        # root.head is the in-flight packet: an ARRIVE cannot displace a
+        # busy root's head, so its flow id names the serving leaf and the
+        # active root->leaf chain is exactly the leaf's path reversed.
+        leaf = self._nodes[root.head.flow_id]
+        path = leaf.path
+        for node in path:
+            node.head = None
+            node.active_child = None
+        # The physical packet was already popped by the base dequeue.
+        queue = leaf.flow_state.queue
+        parent = path[1]
+        rekeyed = None
+        obs = self._obs
+        if queue:
+            head = queue[0]
+            leaf.head = head
+            leaf.start_tag = leaf.finish_tag
+            leaf.finish_tag = leaf.start_tag + head.length * leaf.inv_rate
+            if obs is None and parent.policy.fast:
+                rekeyed = leaf
+            else:
+                parent.policy.child_head_set(leaf)
+                if obs is not None:
+                    self._emit_head(leaf)
+        else:
+            parent.policy.child_head_cleared(leaf)
+        self._restart_path(path, 1, rekeyed)
+        if root.head is None:
             if self._backlog_packets > 0:  # pragma: no cover - safety net
                 raise HierarchyError(
                     "H-PFQ invariant violated: backlog but no selection after reset"

@@ -135,15 +135,17 @@ class WF2QPlusScheduler(PacketScheduler):
 
     def _promote_eligible(self):
         ineligible = self._ineligible
-        if not ineligible:
+        ient = ineligible.entries
+        if not ient:
             return
         eligible = self._eligible
         flows = self._flows
         virtual = self._virtual
-        while ineligible and ineligible.min_key()[0] <= virtual:
-            flow_id, _key = ineligible.pop()
-            state = flows[flow_id]
-            eligible.push(flow_id, (state.finish_tag, state.index))
+        while ient and ient[0][0][0] <= virtual:
+            state = flows[ient[0][2]]
+            ineligible.move_top_to(
+                eligible, (state.finish_tag, state.index)
+            )
 
     # ------------------------------------------------------------------
     # Scheduler hooks
@@ -198,8 +200,9 @@ class WF2QPlusScheduler(PacketScheduler):
                 if start <= self._virtual:
                     eligible.replace_top(flow_id, (finish, state.index))
                 else:
-                    eligible.pop()
-                    self._ineligible.push(flow_id, (start, state.index))
+                    eligible.move_top_to(
+                        self._ineligible, (start, state.index)
+                    )
             else:
                 eligible.pop()
                 self._starts.remove(flow_id)

@@ -30,6 +30,13 @@ method call — the dominant cost of heap churn in the scheduler hot path.
 ``seq`` is unique per heap, so a comparison never falls through to
 ``item`` (items need not be comparable); when ``key`` is itself a tuple
 (tag, index), the nested comparison still runs entirely in C.
+
+For the hottest loops (the per-level promotion scans of WF2Q+ and the
+H-PFQ restart chain), :attr:`IndexedHeap.entries` exposes the raw entry
+list itself: ``entries[0]`` is the min ``(key, seq, item)`` tuple and
+``if entries:`` is a plain list truth test — zero method calls per
+probe.  The list is the live backing store; callers must treat it as
+read-only.
 """
 
 __all__ = ["IndexedHeap"]
@@ -38,11 +45,18 @@ __all__ = ["IndexedHeap"]
 class IndexedHeap:
     """Binary min-heap over unique hashable items with updatable keys."""
 
-    __slots__ = ("_heap", "_pos", "_seq")
+    __slots__ = ("_heap", "_pos", "_seq", "entries", "pos")
 
     def __init__(self):
-        self._heap = []   # (key, seq, item) tuples
+        #: Raw (key, seq, item) entry list; ``entries`` is a public
+        #: read-only alias bound to the *same* list object (every mutation
+        #: below is in place, so the alias never goes stale).  ``pos`` is
+        #: the matching alias of the item -> slot map, for membership
+        #: probes (``item in heap.pos``) without a method call.
+        self._heap = []
+        self.entries = self._heap
         self._pos = {}    # item -> heap index
+        self.pos = self._pos
         self._seq = 0
 
     # ------------------------------------------------------------------
@@ -98,7 +112,7 @@ class IndexedHeap:
         self._seq += 1
         heap = self._heap
         heap.append(entry)
-        self._pos[item] = len(heap) - 1
+        # No _pos preset: the sift writes the entry's final slot.
         self._sift_up(len(heap) - 1)
 
     def pop(self):
@@ -111,7 +125,6 @@ class IndexedHeap:
         del self._pos[item]
         if heap:
             heap[0] = last
-            self._pos[last[2]] = 0
             self._sift_down(0)
         return item, key
 
@@ -135,13 +148,38 @@ class IndexedHeap:
             raise ValueError(f"item already in heap: {item!r}")
         heap[0] = (key, self._seq, item)
         self._seq += 1
-        pos[item] = 0
         self._sift_down(0)
         return old_item, old_key
 
     #: :func:`heapq.heapreplace` analogue (pop the min, push a new entry,
     #: one sift).  Same operation as :meth:`replace_top`.
     pop_push = replace_top
+
+    def move_top_to(self, other, key):
+        """Pop this heap's min item and push it into ``other`` under ``key``.
+
+        Exactly ``item, _ = self.pop(); other.push(item, key)`` (including
+        the fresh FIFO tiebreak in ``other``) fused into one call — the
+        eligible/ineligible migrations of the schedulers are all top-to-heap
+        moves, and the pair accounts for most of their heap traffic.
+        Returns the moved item.
+        """
+        heap = self._heap
+        if not heap:
+            raise IndexError("move_top_to on an empty heap")
+        item = heap[0][2]
+        last = heap.pop()
+        del self._pos[item]
+        if heap:
+            heap[0] = last
+            self._sift_down(0)
+        if item in other._pos:
+            raise ValueError(f"item already in heap: {item!r}")
+        oheap = other._heap
+        oheap.append((key, other._seq, item))
+        other._seq += 1
+        other._sift_up(len(oheap) - 1)
+        return item
 
     def update(self, item, key):
         """Change the key of ``item`` (KeyError if absent).
@@ -178,8 +216,8 @@ class IndexedHeap:
         last = heap.pop()
         if index < len(heap):
             heap[index] = last
-            self._pos[last[2]] = index
-            # The displaced entry may need to move either way.
+            # The displaced entry may need to move either way (each sift
+            # records the entry's final slot in _pos).
             self._sift_up(index)
             self._sift_down(self._pos[last[2]])
         return key

@@ -24,20 +24,36 @@ __all__ = ["Simulator", "Event"]
 
 
 class Event:
-    """A scheduled callback; ``cancel()`` before it fires to skip it."""
+    """A scheduled callback; ``cancel()`` before it fires to skip it.
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+    A cancelled event stays in the simulator's heap (removal from the
+    middle of a binary heap is O(n)); the simulator counts tombstones and
+    compacts the heap once they dominate, so workloads that cancel in bulk
+    (e.g. timers rescheduled every packet) stay O(live events).
+    """
 
-    def __init__(self, time, priority, seq, callback, args):
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled",
+                 "sim")
+
+    def __init__(self, time, priority, seq, callback, args, sim=None):
         self.time = time
         self.priority = priority
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.sim = sim
 
     def cancel(self):
+        if self.cancelled:
+            return
         self.cancelled = True
+        sim = self.sim
+        if sim is not None:
+            # Detach first: a second cancel() (or one after the event has
+            # fired) must not count the tombstone twice.
+            self.sim = None
+            sim._note_cancelled()
 
     def __lt__(self, other):
         return (self.time, self.priority, self.seq) < (other.time, other.priority, other.seq)
@@ -50,12 +66,17 @@ class Event:
 class Simulator:
     """A single-threaded discrete-event simulator with a monotonic clock."""
 
+    #: Compaction floor: below this many tombstones the heap is left alone
+    #: (filtering a tiny queue costs more than the pops it would save).
+    COMPACT_MIN_CANCELLED = 64
+
     def __init__(self):
         self._queue = []
         self._seq = itertools.count()
         self._now = 0.0
         self._running = False
         self._processed = 0
+        self._cancelled = 0
         #: Optional callable ``hook(event)`` invoked after each processed
         #: event — the observability/profiling tap into the event loop
         #: (e.g. counting callbacks per simulated second).  ``None`` keeps
@@ -73,8 +94,23 @@ class Simulator:
 
     @property
     def pending(self):
-        """Number of not-yet-fired (possibly cancelled) events."""
-        return len(self._queue)
+        """Number of live (not-yet-fired, not-cancelled) events."""
+        return len(self._queue) - self._cancelled
+
+    def _note_cancelled(self):
+        """A queued event was cancelled; compact once tombstones dominate.
+
+        Lazy compaction keeps ``cancel()`` O(1) amortised: the heap is
+        rebuilt from its live events only when more than half of it is
+        tombstones (and at least :data:`COMPACT_MIN_CANCELLED` of them),
+        so the rebuild cost is covered by the cancellations it reclaims.
+        """
+        self._cancelled += 1
+        if (self._cancelled >= self.COMPACT_MIN_CANCELLED
+                and self._cancelled * 2 > len(self._queue)):
+            self._queue = [e for e in self._queue if not e.cancelled]
+            heapq.heapify(self._queue)
+            self._cancelled = 0
 
     def schedule(self, time, callback, *args, priority=0):
         """Run ``callback(*args)`` at absolute ``time``.
@@ -86,7 +122,7 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time!r}: clock is already {self._now!r}"
             )
-        event = Event(time, priority, next(self._seq), callback, args)
+        event = Event(time, priority, next(self._seq), callback, args, self)
         heapq.heappush(self._queue, event)
         return event
 
@@ -116,7 +152,9 @@ class Simulator:
                     break
                 heapq.heappop(self._queue)
                 if event.cancelled:
+                    self._cancelled -= 1
                     continue
+                event.sim = None  # fired: a late cancel() is a no-op
                 self._now = event.time
                 event.callback(*event.args)
                 self._processed += 1
@@ -134,7 +172,9 @@ class Simulator:
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                self._cancelled -= 1
                 continue
+            event.sim = None  # fired: a late cancel() is a no-op
             self._now = event.time
             event.callback(*event.args)
             self._processed += 1
@@ -144,4 +184,4 @@ class Simulator:
         return None
 
     def __repr__(self):
-        return f"Simulator(now={self._now!r}, pending={len(self._queue)})"
+        return f"Simulator(now={self._now!r}, pending={self.pending})"

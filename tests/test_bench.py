@@ -12,13 +12,21 @@ from repro.bench import (
     format_table,
     load,
     merge_best,
+    parallel_map,
     point_key,
     run_scenarios,
+    run_scenarios_parallel,
     save,
     to_payload,
 )
+from repro.bench.parallel import scenario_seed
 from repro.bench.scenarios import SCENARIOS
 from repro.cli import main
+
+
+def _double(x):
+    """Module-level (hence picklable) worker for parallel_map tests."""
+    return 2 * x
 
 
 def _payload(costs):
@@ -109,6 +117,27 @@ class TestMergeBest:
         assert len(merge_best(a, b)) == 2
 
 
+class TestProvenance:
+    def test_payload_records_platform(self):
+        info = to_payload([])["platform"]
+        assert set(info) == {
+            "system", "release", "machine", "processor", "cpu_count"}
+        assert isinstance(info["cpu_count"], int) and info["cpu_count"] >= 1
+
+    def test_packets_per_sec_is_derived_from_cost(self):
+        point = BenchPoint("s", "x", {}, 10, 2000.0)
+        assert point.packets_per_sec == pytest.approx(500_000.0)
+        assert point.to_dict()["packets_per_sec"] == 500_000.0
+
+    def test_zero_cost_has_zero_throughput(self):
+        assert BenchPoint("s", "x", {}, 0, 0.0).packets_per_sec == 0.0
+
+    def test_from_dict_ignores_derived_field(self):
+        d = BenchPoint("s", "x", {"n": 1}, 10, 2000.0).to_dict()
+        back = BenchPoint.from_dict(d)
+        assert back.ns_per_packet == 2000.0
+
+
 class TestPersistence:
     def test_save_load_roundtrip(self, tmp_path):
         points = [BenchPoint("s", "x", {"flows": 4}, 10, 123.456)]
@@ -119,6 +148,7 @@ class TestPersistence:
         assert loaded["scenarios"] == payload["scenarios"]
         assert loaded["scenarios"][0]["ns_per_packet"] == 123.5  # rounded
         assert "python" in loaded and "git_rev" in loaded
+        assert "platform" in loaded
 
     def test_load_rejects_non_bench_documents(self, tmp_path):
         path = tmp_path / "other.json"
@@ -146,6 +176,53 @@ class TestRunScenarios:
         points = run_scenarios(names=["fake"])
         assert len(points) == 1
         assert points[0].scenario == "fake"
+
+
+class TestParallel:
+    """The process-parallel sweep runner (``--jobs N``)."""
+
+    @pytest.fixture
+    def two_fakes(self, monkeypatch):
+        monkeypatch.setitem(
+            SCENARIOS, "fake_a",
+            lambda quick: [BenchPoint("fake_a", "x", {}, 1, 5.0)])
+        monkeypatch.setitem(
+            SCENARIOS, "fake_b",
+            lambda quick: [BenchPoint("fake_b", "y", {}, 1, 7.0)])
+
+    def test_seed_is_deterministic_and_name_keyed(self):
+        assert scenario_seed("hierarchy") == scenario_seed("hierarchy")
+        assert scenario_seed("hierarchy") != scenario_seed("zoo")
+        assert 0 <= scenario_seed("hierarchy") < 2**32
+
+    def test_jobs_one_degrades_to_sequential(self, two_fakes):
+        points = run_scenarios_parallel(names=["fake_b", "fake_a"], jobs=1)
+        assert [p.scenario for p in points] == ["fake_b", "fake_a"]
+
+    def test_unknown_scenario_raises_before_forking(self):
+        with pytest.raises(ValueError):
+            run_scenarios_parallel(names=["nope"], jobs=2)
+
+    def test_pool_matches_sequential_set_and_order(self, two_fakes):
+        # fork context: the workers inherit the monkeypatched SCENARIOS.
+        sequential = run_scenarios(names=["fake_b", "fake_a"])
+        parallel = run_scenarios_parallel(
+            names=["fake_b", "fake_a"], jobs=2, mp_context="fork")
+        assert ([point_key(p) for p in parallel]
+                == [point_key(p) for p in sequential])
+
+    def test_progress_callback_fires_per_scenario(self, two_fakes):
+        seen = []
+        run_scenarios_parallel(
+            names=["fake_a", "fake_b"], jobs=2, mp_context="fork",
+            progress=seen.append)
+        assert sorted(seen) == ["fake_a", "fake_b"]
+
+    def test_parallel_map_preserves_input_order(self):
+        items = [3, 1, 2, 5]
+        assert parallel_map(_double, items, jobs=1) == [6, 2, 4, 10]
+        assert (parallel_map(_double, items, jobs=2, mp_context="fork")
+                == [6, 2, 4, 10])
 
 
 class TestCLI:
@@ -225,3 +302,18 @@ class TestCLI:
         assert {p["scenario"] for p in payload["scenarios"]} == {
             "saturated_churn"}
         assert all(p["ns_per_packet"] > 0 for p in payload["scenarios"])
+
+    def test_jobs_flag_produces_same_points_as_sequential(self, tmp_path):
+        """--jobs 2 must emit the identical point grid (modulo timings)."""
+        seq, par = tmp_path / "seq.json", tmp_path / "par.json"
+        assert main(["bench", "--quick", "--scenario", "saturated_churn",
+                     "-o", str(seq)]) == 0
+        assert main(["bench", "--quick", "--scenario", "saturated_churn",
+                     "--jobs", "2", "-o", str(par)]) == 0
+        keys = lambda path: [point_key(p)  # noqa: E731
+                             for p in load(path)["scenarios"]]
+        assert keys(par) == keys(seq)
+
+    def test_jobs_rejects_non_positive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["bench", "--jobs", "0"])

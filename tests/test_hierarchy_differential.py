@@ -1,0 +1,114 @@
+"""Randomized-topology differential suite for the H-WF2Q+ hot path.
+
+The flattened-tree rewrite (precomputed leaf->root paths, the fused
+``reselect`` fast path, the two-heap node policy without a separate
+start-tag heap) must be *packet-for-packet* identical to the naive
+RESTART-NODE transliteration on **arbitrary** trees — not just the two
+hand-built specs in ``test_equivalence_optimized``.
+
+Each case draws a random hierarchy (depth <= 4, fanout 2-4 per internal
+node, mixed integer shares) and a mixed workload: a dense churn window
+(every selection exercises the re-key/reselect path) followed by bursty
+on/off arrivals (every burst crosses busy-period boundaries, exercising
+the epoch reset and the max(F, V) tag floor).  Everything runs under
+:class:`fractions.Fraction`, so the transcripts — service order, real
+times and virtual tags — are compared **exactly**; any divergence is an
+algorithmic bug, never roundoff.
+"""
+
+import itertools
+import random
+from fractions import Fraction as Fr
+
+import pytest
+
+from repro.config import leaf, node
+from repro.core.hierarchy import HPFQScheduler
+
+from tests.test_equivalence_optimized import (
+    NaiveWF2QPlusNodePolicy,
+    bursty_arrivals,
+    drive,
+)
+
+
+def random_tree(rng, max_depth=4):
+    """A random spec of height <= ``max_depth``; returns (root, leaf ids).
+
+    Internal nodes have fanout 2-4; a subtree stops early with
+    probability 0.4, so depths mix within one tree.  Shares are small
+    mixed integers — awkward on purpose, since Fraction arithmetic keeps
+    every rate exact regardless.
+    """
+    ids = itertools.count()
+    leaves = []
+
+    def build(depth):
+        if depth >= max_depth or rng.random() < 0.4:
+            name = f"L{next(ids)}"
+            leaves.append(name)
+            return leaf(name, rng.randint(1, 5))
+        children = [build(depth + 1) for _ in range(rng.randint(2, 4))]
+        return node(f"N{next(ids)}", rng.randint(1, 5), children)
+
+    # The root always branches, so every tree has at least two subtrees.
+    root = node("root", 1,
+                [build(2) for _ in range(rng.randint(2, 4))])
+    return root, leaves
+
+
+def churn_window(rng, leaves, count, seq_base):
+    """Dense arrivals in [0, 1): the scheduler stays saturated throughout."""
+    return [
+        (Fr(rng.randrange(4096), 4096), seq_base + i,
+         rng.choice(leaves), Fr(rng.choice([1, 2, 3]), 2))
+        for i in range(count)
+    ]
+
+
+def mixed_workload(rng, leaves, seed):
+    """Churn window + bursty on/off tail, as exact Fractions."""
+    arrivals = churn_window(rng, leaves, count=120, seq_base=0)
+    tail = bursty_arrivals(leaves, seed=seed, bursts=15)
+    arrivals += [
+        (Fr(2) + Fr(t).limit_denominator(1 << 12), 1000 + seq, fid, Fr(ln))
+        for t, seq, fid, ln in tail
+    ]
+    return sorted(arrivals)
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 5, 8, 13])
+def test_random_topology_matches_naive_reference(seed):
+    rng = random.Random(seed)
+    spec, leaves = random_tree(rng)
+    while len(leaves) < 4:  # bursty_arrivals samples up to 4 active flows
+        spec, leaves = random_tree(rng)
+    arrivals = mixed_workload(rng, leaves, seed)
+
+    opt = HPFQScheduler(spec, Fr(16), policy="wf2qplus")
+    ref = HPFQScheduler(spec, Fr(16), policy=NaiveWF2QPlusNodePolicy)
+    got = drive(opt, arrivals)
+    want = drive(ref, arrivals)
+
+    assert len(got) == len(arrivals)
+    assert got == want  # flow order, real times and virtual tags, exactly
+
+
+def test_deep_skinny_chain_matches_naive_reference():
+    """Depth-4 two-way chains: the longest restart paths the suite allows."""
+    spec = node("root", 1, [
+        node("n0", 1, [
+            node("n00", 2, [leaf("a", 1), leaf("b", 3)]),
+            leaf("c", 1),
+        ]),
+        node("n1", 2, [
+            node("n10", 1, [leaf("d", 2), leaf("e", 1)]),
+            node("n11", 1, [leaf("f", 1), leaf("g", 1)]),
+        ]),
+    ])
+    rng = random.Random(99)
+    arrivals = mixed_workload(
+        rng, ["a", "b", "c", "d", "e", "f", "g"], seed=99)
+    opt = HPFQScheduler(spec, Fr(9), policy="wf2qplus")
+    ref = HPFQScheduler(spec, Fr(9), policy=NaiveWF2QPlusNodePolicy)
+    assert drive(opt, arrivals) == drive(ref, arrivals)

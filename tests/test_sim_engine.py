@@ -124,3 +124,62 @@ class TestCancellation:
         assert ev.time == 1.0
         sim.step()
         assert sim.step() is None
+
+
+class TestLazyCompaction:
+    """Bulk cancellation must shrink the heap, not just tombstone it."""
+
+    def test_bulk_cancel_compacts_the_heap(self):
+        sim = Simulator()
+        keep = sim.schedule(10.0, lambda: None)
+        doomed = [sim.schedule(1.0 + i * 1e-6, lambda: None)
+                  for i in range(1000)]
+        assert sim.pending == 1001
+        for ev in doomed:
+            ev.cancel()
+        # The tombstones were reclaimed eagerly: the internal heap holds
+        # only the live event, and pending agrees.
+        assert len(sim._queue) < Simulator.COMPACT_MIN_CANCELLED
+        assert sim.pending == 1
+        assert keep in sim._queue
+
+    def test_pending_counts_only_live_events(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(8)]
+        events[0].cancel()
+        events[3].cancel()
+        assert sim.pending == 6  # below the floor: no compaction yet
+        assert len(sim._queue) == 8
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        assert sim.pending == 1
+
+    def test_cancel_after_firing_is_a_noop(self):
+        sim = Simulator()
+        out = []
+        ev = sim.schedule(1.0, out.append, "x")
+        sim.schedule(2.0, out.append, "y")
+        sim.step()
+        ev.cancel()  # already fired: must not corrupt the live count
+        assert out == ["x"]
+        assert sim.pending == 1
+        sim.run()
+        assert out == ["x", "y"]
+
+    def test_compaction_preserves_run_order(self):
+        sim = Simulator()
+        out = []
+        doomed = [sim.schedule(1.0 + i * 1e-6, out.append, "bad")
+                  for i in range(200)]
+        survivors = [5.0, 3.0, 4.0]
+        for t in survivors:
+            sim.schedule(t, out.append, t)
+        for ev in doomed:
+            ev.cancel()
+        sim.run()
+        assert out == sorted(survivors)
