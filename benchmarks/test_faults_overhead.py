@@ -1,0 +1,69 @@
+"""Fault-injection machinery must be free when no plan is active.
+
+The robustness layer added three things near the hot path: inline packet
+validation in ``enqueue``, the drop-policy branches behind the buffer
+caps, and the ``sync()`` hook.  None of them may tax a scheduler that has
+no fault plan armed: this benchmark drives the saturated-churn workload
+through the *current* WF2Q+ — with a :class:`FaultInjector` armed on an
+empty :class:`FaultPlan` — and holds it within 5% of the seed-equivalent
+control (the pre-instrumentation hot path from ``test_obs_overhead``).
+"""
+
+import time
+
+from benchmarks.test_obs_overhead import (
+    N_FLOWS,
+    REPS,
+    ROUNDS,
+    SeedEquivalentWF2QPlus,
+    make,
+    saturated_churn,
+)
+from repro.core.wf2qplus import WF2QPlusScheduler
+from repro.faults import FaultInjector, FaultPlan
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+
+
+def timed_run_with_armed_injector():
+    sched = make(WF2QPlusScheduler)
+    link = Link(Simulator(), sched)
+    injector = FaultInjector(FaultPlan(), link).arm()  # zero actions
+    t0 = time.perf_counter()
+    saturated_churn(sched, N_FLOWS, ROUNDS)
+    elapsed = time.perf_counter() - t0
+    assert injector.applied == 0
+    return elapsed
+
+
+def timed_run_control():
+    sched = make(SeedEquivalentWF2QPlus)
+    t0 = time.perf_counter()
+    saturated_churn(sched, N_FLOWS, ROUNDS)
+    return time.perf_counter() - t0
+
+
+def test_no_plan_fault_machinery_within_5_percent_of_seed(results_writer):
+    # Same measurement discipline as the obs overhead gate: 5% relative
+    # budget with a 100ns/packet absolute floor, interleaved best-of-REPS,
+    # up to 3 rounds keeping running minima to ride out CI noise bursts.
+    budget = lambda ctrl: 1.05 * ctrl + 100e-9 * ROUNDS
+    timed_run_control()            # warm up both code paths
+    timed_run_with_armed_injector()
+    t_ctrl = t_fault = float("inf")
+    for _attempt in range(3):
+        for _ in range(REPS):
+            t_ctrl = min(t_ctrl, timed_run_control())
+            t_fault = min(t_fault, timed_run_with_armed_injector())
+        if t_fault <= budget(t_ctrl):
+            break
+    results_writer("faults_overhead.txt", [
+        "# fault machinery (no plan) vs seed-equivalent control",
+        f"control   {t_ctrl:.6f} s  ({1e6 * t_ctrl / ROUNDS:.3f} us/pkt)",
+        f"faults    {t_fault:.6f} s  ({1e6 * t_fault / ROUNDS:.3f} us/pkt)",
+        f"ratio     {t_fault / t_ctrl:.4f}",
+    ])
+    assert t_fault <= budget(t_ctrl), (
+        f"fault machinery with no plan costs {t_fault / t_ctrl:.3f}x the "
+        f"seed control — validation/drop-policy branches are no longer free"
+    )

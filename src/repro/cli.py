@@ -9,7 +9,10 @@ Usage (also via ``python -m repro``)::
     python -m repro stats --scheduler wf2qplus --flows 64 \
         --trace out.jsonl --check
     python -m repro bench -o BENCH_core.json
-    python -m repro bench --quick --compare BENCH_core.json
+    python -m repro bench --quick --compare BENCH_core.json \
+        --report regressions.json
+    python -m repro chaos
+    python -m repro chaos --scenario link_flap --scheduler hwf2qplus
 
 Each subcommand prints a compact text report; the benchmarks in
 ``benchmarks/`` remain the canonical figure-regeneration path (they also
@@ -17,7 +20,10 @@ persist the raw series).  ``stats`` is the observability entry point: it
 drives a saturated churn workload through any scheduler in the zoo with
 wall-clock profiling and per-flow metrics attached, optionally writing a
 JSONL event trace (``--trace``) and/or running the full invariant checker
-(``--check``).
+(``--check``).  ``chaos`` is the robustness gate: it runs the fault
+scenarios from :mod:`repro.faults.chaos` under the invariant checker and
+exits 1 unless every run ends violation-free with a balanced conservation
+ledger.
 """
 
 import argparse
@@ -160,6 +166,10 @@ def _cmd_bench(args):
     )
     from repro.bench.parallel import run_scenarios_parallel
 
+    if args.report and not args.compare:
+        print("repro bench: --report requires --compare "
+              "(it records the regression table)")
+        return 2
     names = args.scenario or None
     try:
         if args.jobs > 1:
@@ -210,8 +220,64 @@ def _cmd_bench(args):
         print(f"comparison against {args.compare} "
               f"(rev {baseline.get('git_rev', '?')}):")
         print(format_compare(rows, threshold=args.threshold))
+        if args.report:
+            import json
+
+            report = {
+                "baseline": args.compare,
+                "baseline_rev": baseline.get("git_rev", "?"),
+                "current_rev": payload.get("git_rev", "?"),
+                "threshold": args.threshold,
+                "ok": not regressions,
+                "regressions": len(regressions),
+                "rows": rows,
+            }
+            with open(args.report, "w", encoding="utf-8") as fh:
+                json.dump(report, fh, indent=2)
+                fh.write("\n")
+            print(f"\nwrote per-scenario regression table to {args.report}")
         if regressions:
             return 1
+    return 0
+
+
+def _cmd_chaos(args):
+    import json
+
+    from repro.faults import CHAOS_SCHEDULERS, SCENARIOS, run_chaos
+
+    scenarios = args.scenario or list(SCENARIOS)
+    schedulers = args.scheduler or ["wf2qplus", "hwf2qplus"]
+    results = []
+    for scheduler in schedulers:
+        for scenario in scenarios:
+            result = run_chaos(
+                scenario, scheduler=scheduler, seed=args.seed,
+                duration=args.duration, flows=args.flows, rate=args.rate,
+                load=args.load,
+            )
+            print(result.format())
+            results.append(result)
+    failed = [r for r in results if not r.ok]
+    if args.json:
+        payload = {
+            "seed": args.seed,
+            "duration": args.duration,
+            "flows": args.flows,
+            "ok": not failed,
+            "results": [r.to_dict() for r in results],
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"\nwrote {len(results)} results to {args.json}")
+    print()
+    if failed:
+        print(f"FAIL: {len(failed)} of {len(results)} chaos runs violated "
+              "an invariant or lost packets")
+        return 1
+    print(f"OK: {len(results)} chaos runs, zero invariant violations, "
+          "conservation exact")
     return 0
 
 
@@ -382,7 +448,36 @@ def build_parser():
                          metavar="N",
                          help="run scenarios across N worker processes "
                               "(same points and ordering as --jobs 1)")
+    p_bench.add_argument("--report", metavar="OUT.JSON", default=None,
+                         help="with --compare: also write the per-scenario "
+                              "regression table as machine-readable JSON")
     p_bench.set_defaults(func=_cmd_bench)
+
+    from repro.faults import CHAOS_SCHEDULERS, SCENARIOS as CHAOS_SCENARIOS
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="run fault-injection scenarios under the invariant checker; "
+             "exit 1 on any violation or conservation mismatch")
+    p_chaos.add_argument("--scenario", action="append", metavar="NAME",
+                         choices=CHAOS_SCENARIOS,
+                         help="run only this scenario (repeatable); "
+                              "default: all")
+    p_chaos.add_argument("--scheduler", action="append", metavar="NAME",
+                         choices=CHAOS_SCHEDULERS,
+                         help="scheduler under attack (repeatable); "
+                              "default: wf2qplus and hwf2qplus")
+    p_chaos.add_argument("--seed", type=int, default=1,
+                         help="seed for traffic and the fault plan")
+    p_chaos.add_argument("--duration", type=float, default=2.0,
+                         help="traffic window in seconds")
+    p_chaos.add_argument("--flows", type=_positive_int, default=8)
+    p_chaos.add_argument("--rate", type=float, default=1e6,
+                         help="link rate in bits per second")
+    p_chaos.add_argument("--load", type=float, default=1.1,
+                         help="offered load as a fraction of link capacity")
+    p_chaos.add_argument("--json", metavar="OUT.JSON", default=None,
+                         help="also write the results as JSON")
+    p_chaos.set_defaults(func=_cmd_chaos)
     return parser
 
 

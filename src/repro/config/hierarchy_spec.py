@@ -108,6 +108,85 @@ class HierarchySpec:
         self[name]
         return self._parent[name]
 
+    # ------------------------------------------------------------------
+    # Live mutation (share renegotiation, subtree attach/detach)
+    # ------------------------------------------------------------------
+    def set_share(self, name, share):
+        """Renegotiate a node's sibling-relative share.
+
+        The root's share is meaningless (it has no siblings) and cannot
+        change.  Callers holding derived state (guaranteed rates, policy
+        weights) must rebase it themselves — see
+        :meth:`~repro.core.hierarchy.HPFQScheduler.set_share`.
+        """
+        spec = self[name]
+        if self._parent[name] is None:
+            raise HierarchyError("the root has no siblings; its share is fixed")
+        if share <= 0:
+            raise HierarchyError(
+                f"node {name!r}: share must be positive, got {share!r}"
+            )
+        spec.share = share
+
+    @staticmethod
+    def _subtree(spec):
+        stack = [spec]
+        while stack:
+            current = stack.pop()
+            yield current
+            stack.extend(current.children)
+
+    def attach(self, parent_name, subtree):
+        """Graft a :class:`NodeSpec` subtree under an existing interior node.
+
+        Validates name uniqueness (within the subtree and against the
+        existing tree) before mutating, so a failed attach leaves the spec
+        untouched.
+        """
+        parent = self[parent_name]
+        if parent.is_leaf:
+            raise HierarchyError(
+                f"cannot attach under leaf {parent_name!r}; only interior "
+                f"nodes take children"
+            )
+        names = [n.name for n in self._subtree(subtree)]
+        if len(set(names)) != len(names):
+            raise HierarchyError(
+                f"subtree {subtree.name!r} contains duplicate node names"
+            )
+        clashes = [n for n in names if n in self._by_name]
+        if clashes:
+            raise HierarchyError(
+                f"subtree node names already in the hierarchy: {sorted(clashes)}"
+            )
+        parent.children.append(subtree)
+        self._index(subtree, parent)
+        self.leaves = [n for n in self._by_name.values() if n.is_leaf]
+        return subtree
+
+    def detach(self, name):
+        """Prune the subtree rooted at ``name``; returns its NodeSpec.
+
+        The root cannot be detached, and a parent must keep at least one
+        child (an interior node without children would silently become a
+        leaf and change its meaning).
+        """
+        spec = self[name]
+        parent = self._parent[name]
+        if parent is None:
+            raise HierarchyError("cannot detach the root")
+        if len(parent.children) == 1:
+            raise HierarchyError(
+                f"detaching {name!r} would leave interior node "
+                f"{parent.name!r} childless"
+            )
+        parent.children.remove(spec)
+        for pruned in self._subtree(spec):
+            del self._by_name[pruned.name]
+            del self._parent[pruned.name]
+        self.leaves = [n for n in self._by_name.values() if n.is_leaf]
+        return spec
+
     def leaf_names(self):
         return [n.name for n in self.leaves]
 

@@ -104,3 +104,33 @@ class DRRScheduler(PacketScheduler):
     def deficit_of(self, flow_id):
         """Current deficit counter (bits) of a flow, for tests."""
         return self._deficit[flow_id]
+
+    # ------------------------------------------------------------------
+    # Robustness hooks (reconfiguration / eviction / checkpoint)
+    # ------------------------------------------------------------------
+    def _on_reconfigured(self):
+        # Quanta are derived per visit from share / min_share; refresh the
+        # cached minimum.  Accumulated deficits (service already owed)
+        # persist across the change.
+        self._min_share = min(
+            (st.share for st in self._flows.values()), default=None
+        )
+
+    # Eviction needs no hook: _select_flow already skips flows whose
+    # queues drained outside a visit (stale round entries).
+
+    def _snapshot_extra(self):
+        return {
+            "active": list(self._active),
+            "in_round": sorted(self._in_round, key=repr),
+            "deficit": dict(self._deficit),
+            "current": self._current,
+            "min_share": self._min_share,
+        }
+
+    def _restore_extra(self, extra, uid_map):
+        self._active = deque(extra["active"])
+        self._in_round = set(extra["in_round"])
+        self._deficit = dict(extra["deficit"])
+        self._current = extra["current"]
+        self._min_share = extra["min_share"]

@@ -134,3 +134,49 @@ class FFQScheduler(PacketScheduler):
     def potential(self):
         """Current system potential (for tests)."""
         return self._potential
+
+    # ------------------------------------------------------------------
+    # Robustness hooks (reconfiguration / eviction / checkpoint)
+    # ------------------------------------------------------------------
+    def _on_reconfigured(self):
+        # Keep start tags, rebase finish tags and re-key the finish heap.
+        # The frame is derived from the (changed) minimum rate: drop the
+        # cached boundary so the next potential advance re-derives it.
+        heads = self._heads
+        for state in self._flows.values():
+            if not state.queue:
+                continue
+            finish = state.start_tag \
+                + state.queue[0].length * self._inv_rate(state)
+            state.finish_tag = finish
+            heads.update(state.flow_id, (finish, state.index))
+        self._frame_end = None
+
+    def _on_packet_evicted(self, state, packet, index, now):
+        if index != 0:
+            return
+        if state.queue:
+            finish = state.start_tag \
+                + state.queue[0].length * self._inv_rate(state)
+            state.finish_tag = finish
+            self._heads.update(state.flow_id, (finish, state.index))
+        else:
+            state.finish_tag = state.start_tag
+            self._heads.discard(state.flow_id)
+            self._starts.discard(state.flow_id)
+
+    def _snapshot_extra(self):
+        return {
+            "potential": self._potential,
+            "stamp": self._stamp,
+            "frame_end": self._frame_end,
+            "heads": self._heads.snapshot(),
+            "starts": self._starts.snapshot(),
+        }
+
+    def _restore_extra(self, extra, uid_map):
+        self._potential = extra["potential"]
+        self._stamp = extra["stamp"]
+        self._frame_end = extra["frame_end"]
+        self._heads.restore(extra["heads"])
+        self._starts.restore(extra["starts"])

@@ -35,3 +35,16 @@ class FIFOScheduler(PacketScheduler):
     def _on_flow_removed(self, state):
         # An idle flow has no packets in the global order; nothing to do.
         pass
+
+    # ------------------------------------------------------------------
+    # Robustness hooks (eviction / checkpoint)
+    # ------------------------------------------------------------------
+    def _on_packet_evicted(self, state, packet, index, now):
+        # Packets compare by identity, so this removes exactly the victim.
+        self._order.remove(packet)
+
+    def _snapshot_extra(self):
+        return {"order": [p.uid for p in self._order]}
+
+    def _restore_extra(self, extra, uid_map):
+        self._order = deque(uid_map[uid] for uid in extra["order"])

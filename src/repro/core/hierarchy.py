@@ -177,6 +177,42 @@ class NodePolicy:
         """Forget everything (system busy period ended)."""
         raise NotImplementedError
 
+    # -- robustness (cold paths: reconfiguration and checkpointing) -----
+    def reconfigure(self):
+        """Hook: shares, rates or the child list of ``self.node`` changed.
+
+        Policies holding share-derived state (WFQ's normalised phi table)
+        refresh it here; tag-keyed policies need nothing because
+        :meth:`rebuild` re-keys their heaps afterwards.
+        """
+
+    def rebuild(self):
+        """Re-key every headed child after share/rate/index changes.
+
+        Generic over all policies: drop each current child from the
+        policy's book-keeping and re-admit it with its (possibly re-based)
+        tags and child index.  For WF2Q+ the re-classification uses the
+        current ``V_n``; a child that was parked ineligible but now has
+        ``s <= V_n`` is promoted early, which ``select`` would have done
+        anyway before the next choice — selection order is unchanged.
+        """
+        self.reconfigure()
+        for child in self.node.children:
+            self.child_head_cleared(child)
+            if child.head is not None:
+                self.child_head_set(child)
+
+    def snapshot(self):
+        """Plain-data checkpoint of the policy's mutable state.
+
+        Children are tokenised by node name; :meth:`restore` resolves them
+        back through the scheduler's node table.
+        """
+        raise NotImplementedError
+
+    def restore(self, snap, nodes):
+        raise NotImplementedError
+
 
 class WF2QPlusNodePolicy(NodePolicy):
     """SEFF with the hierarchical WF2Q+ virtual time (pseudocode line 12).
@@ -338,6 +374,18 @@ class WF2QPlusNodePolicy(NodePolicy):
         self._ineligible.clear()
         self._threshold = 0
 
+    def snapshot(self):
+        return {
+            "eligible": self._eligible.snapshot(lambda c: c.name),
+            "ineligible": self._ineligible.snapshot(lambda c: c.name),
+            "threshold": self._threshold,
+        }
+
+    def restore(self, snap, nodes):
+        self._eligible.restore(snap["eligible"], nodes.__getitem__)
+        self._ineligible.restore(snap["ineligible"], nodes.__getitem__)
+        self._threshold = snap["threshold"]
+
 
 class WFQNodePolicy(NodePolicy):
     """SFF with the practical packet-backlog GPS virtual time.
@@ -387,6 +435,27 @@ class WFQNodePolicy(NodePolicy):
         self._finishes.clear()
         self._active_phi = 0
 
+    def reconfigure(self):
+        node = self.node
+        total = sum(c.share for c in node.children)
+        self._phi = {c: c.share / total for c in node.children}
+        self._active_phi = sum(
+            self._phi[c] for c in node.children if c in self._finishes
+        )
+
+    def snapshot(self):
+        return {
+            "finishes": self._finishes.snapshot(lambda c: c.name),
+            "active_phi": self._active_phi,
+        }
+
+    def restore(self, snap, nodes):
+        self._finishes.restore(snap["finishes"], nodes.__getitem__)
+        node = self.node
+        total = sum(c.share for c in node.children)
+        self._phi = {c: c.share / total for c in node.children}
+        self._active_phi = snap["active_phi"]
+
 
 class SCFQNodePolicy(NodePolicy):
     """SFF with the self-clocked virtual time (V = finish tag in service)."""
@@ -418,6 +487,12 @@ class SCFQNodePolicy(NodePolicy):
     def reset(self):
         self._finishes.clear()
 
+    def snapshot(self):
+        return {"finishes": self._finishes.snapshot(lambda c: c.name)}
+
+    def restore(self, snap, nodes):
+        self._finishes.restore(snap["finishes"], nodes.__getitem__)
+
 
 class SFQNodePolicy(NodePolicy):
     """Smallest-start-tag-first with V = start tag in service."""
@@ -448,6 +523,12 @@ class SFQNodePolicy(NodePolicy):
 
     def reset(self):
         self._starts.clear()
+
+    def snapshot(self):
+        return {"starts": self._starts.snapshot(lambda c: c.name)}
+
+    def restore(self, snap, nodes):
+        self._starts.restore(snap["starts"], nodes.__getitem__)
 
 
 POLICIES = {
@@ -500,6 +581,9 @@ class HPFQScheduler(PacketScheduler):
             raise HierarchyError(
                 f"policy overrides for unknown interior nodes: {sorted(overrides)}"
             )
+        #: Default policy class; interior nodes of subtrees attached live
+        #: (attach_subtree) get instances of this.
+        self._policy_factory = self._resolve_policy(policy)
         self.policy_name = self._resolve_policy(policy).name
         self.name = f"H-PFQ[{self.policy_name}]"
         # Leaves double as flows of the base scheduler.
@@ -873,6 +957,276 @@ class HPFQScheduler(PacketScheduler):
         # tree still references the in-flight packet until then, which is
         # exactly the paper's model of a packet in transmission.
         pass
+
+    def sync(self, now=None):
+        """Run a pending RESET-PATH whose transmission has completed.
+
+        The tree defers the final RESET of a busy period until the next
+        enqueue/dequeue; a caller about to test quiescence (e.g. a
+        detach_subtree retry after the system drained) settles it here.
+        """
+        if now is None:
+            now = self._free_at
+        if self._in_flight is not None and now >= self._free_at:
+            if now > self._clock:
+                self._clock = now
+            self._complete_transmission()
+
+    # ------------------------------------------------------------------
+    # Live reconfiguration (share renegotiation, rate changes, topology)
+    # ------------------------------------------------------------------
+    def _rebase_subtree(self, top):
+        """Recompute guaranteed rates below ``top`` and rebase derived state.
+
+        Called after a share, link-rate or topology change.  For every
+        descendant whose rate changed:
+
+        * ``inv_rate`` is refreshed;
+        * the cumulative reference time follows Section 4.1's construction
+          ``T_n = W_n(0, t) / r_n``: the work already received is an
+          invariant of the change, so ``T' = T * r_old / r_new``;
+        * a headed child keeps its start tag (service owed is a baseline,
+          exactly as in flat WF2Q+'s :meth:`set_share`) and gets its finish
+          tag recomputed as ``F = S + L / r_new``, keeping eq. (27)'s
+          ``min S_i`` arm and the SEFF eligibility test consistent.
+
+        Policy heaps below ``top`` are then rebuilt so every key reflects
+        the fresh tags, child indices and (for WFQ nodes) phi weights.
+        Cold path: O(subtree), which a reconfiguration is allowed to cost.
+        """
+        spec = self.spec
+        rate = self._rate
+        stack = list(top.children)
+        while stack:
+            node_obj = stack.pop()
+            node_obj.share = spec[node_obj.name].share
+            r_new = spec.guaranteed_rate(node_obj.name, rate)
+            if r_new != node_obj.rate:
+                r_old = node_obj.rate
+                node_obj.rate = r_new
+                node_obj.inv_rate = 1 / r_new
+                if node_obj.reference:
+                    node_obj.reference = node_obj.reference * r_old / r_new
+                if node_obj.head is not None:
+                    node_obj.finish_tag = (
+                        node_obj.start_tag
+                        + node_obj.head.length * node_obj.inv_rate
+                    )
+            stack.extend(node_obj.children)
+        stack = [top]
+        while stack:
+            node_obj = stack.pop()
+            if not node_obj.is_leaf:
+                node_obj.policy.rebuild()
+                stack.extend(node_obj.children)
+
+    def set_share(self, name, share):
+        """Renegotiate the share of any non-root node (leaf or interior).
+
+        Rates of the node's whole sibling group (and their descendants)
+        are re-derived from the spec and rebased by :meth:`_rebase_subtree`
+        mid-busy-period.
+        """
+        spec_node = self.spec[name]  # raises HierarchyError when unknown
+        node_obj = self._nodes[name]
+        if node_obj is self._root:
+            raise ConfigurationError(
+                "the root's share is meaningless (it has no siblings)"
+            )
+        if share <= 0:
+            raise ConfigurationError(
+                f"node {name!r}: share must be positive, got {share!r}"
+            )
+        if share == spec_node.share:
+            return
+        spec_node.share = share
+        if node_obj.is_leaf:
+            from repro.core.flow import FlowConfig
+            state = self._flows[name]
+            self._total_share += share - state.config.share
+            state.config = FlowConfig(name, share, name=state.config.name)
+        self._share_gen += 1
+        self._rebase_subtree(node_obj.parent)
+
+    def _on_reconfigured(self):
+        # set_link_rate already updated self.rate; propagate it down.
+        root = self._root
+        r_new = self._rate
+        if r_new != root.rate:
+            r_old = root.rate
+            root.rate = r_new
+            root.inv_rate = 1 / r_new
+            if root.reference:
+                root.reference = root.reference * r_old / r_new
+        self._rebase_subtree(root)
+
+    def attach_subtree(self, parent_name, subtree):
+        """Graft a :class:`NodeSpec` subtree under a live interior node.
+
+        New interior nodes receive the scheduler's default policy; new
+        leaves become enqueue-able flows immediately.  Existing siblings'
+        rates shrink (their normalised shares change) and are rebased.
+        """
+        if not isinstance(subtree, NodeSpec):
+            raise ConfigurationError(f"not a NodeSpec: {subtree!r}")
+        parent = self._nodes.get(parent_name)
+        if parent is None:
+            raise HierarchyError(f"unknown node: {parent_name!r}")
+        self.spec.attach(parent_name, subtree)  # validates names/leafness
+        self._build(subtree, parent)
+        factory = self._policy_factory
+        epoch = self._tree_epoch
+        stack = [self._nodes[subtree.name]]
+        while stack:
+            node_obj = stack.pop()
+            node_obj.epoch = epoch
+            if node_obj.is_leaf:
+                config = self.add_flow(node_obj.name, node_obj.share)
+                node_obj.flow_state = self._flows[config.flow_id]
+            else:
+                pol = factory(node_obj)
+                pol.fast = type(pol) is WF2QPlusNodePolicy
+                node_obj.policy = pol
+            stack.extend(node_obj.children)
+        self._flatten()
+        self._rebase_subtree(parent)
+        return subtree
+
+    def detach_subtree(self, name):
+        """Prune an *idle* subtree; returns its :class:`NodeSpec`.
+
+        Every node in the subtree must be quiescent — no logical head
+        (which also covers the in-flight packet's active path) and no
+        queued packets — so no tag state is destroyed.  Remaining
+        siblings' child indices are compacted and their rates rebased.
+        """
+        node_obj = self._nodes.get(name)
+        if node_obj is None:
+            raise HierarchyError(f"unknown node: {name!r}")
+        if node_obj is self._root:
+            raise HierarchyError("cannot detach the root")
+        names = []
+        stack = [node_obj]
+        while stack:
+            cursor = stack.pop()
+            names.append(cursor.name)
+            if cursor.head is not None or (
+                    cursor.flow_state is not None and cursor.flow_state.queue):
+                raise ConfigurationError(
+                    f"cannot detach busy subtree {name!r}: node "
+                    f"{cursor.name!r} still has queued or in-flight work"
+                )
+            stack.extend(cursor.children)
+        parent = node_obj.parent
+        spec_node = self.spec.detach(name)  # validates root / last child
+        parent.policy.child_head_cleared(node_obj)  # paranoia: idle anyway
+        parent.children.remove(node_obj)
+        for position, sibling in enumerate(parent.children):
+            sibling.child_index = position
+        for node_name in names:
+            pruned = self._nodes.pop(node_name)
+            if pruned.is_leaf:
+                self.remove_flow(node_name)
+        self._flatten()
+        self._rebase_subtree(parent)
+        return spec_node
+
+    # ------------------------------------------------------------------
+    # Graceful degradation: eviction safety in a hierarchy
+    # ------------------------------------------------------------------
+    # A leaf's queue head may be *committed*: adopted as the logical head
+    # of the leaf (and possibly of ancestors up to the root).  Evicting it
+    # would orphan tag state along the whole path, so drop-front starts at
+    # slot 1 in that case and longest-queue-drop skips the flow when the
+    # committed head is its only packet.  When the head packet is in
+    # flight (popped from the queue but still referenced by the tree),
+    # queue[0] is untagged and safely evictable.  Evicted non-head packets
+    # carry no tags in H-PFQ, so no _on_packet_evicted hook is needed.
+    def _evictable_front_index(self, state):
+        queue = state.queue
+        if not queue:
+            return None
+        if self._nodes[state.flow_id].head is queue[0]:
+            return 1 if len(queue) > 1 else None
+        return 0
+
+    def _evictable_tail_index(self, state):
+        queue = state.queue
+        if not queue:
+            return None
+        last = len(queue) - 1
+        if last == 0 and self._nodes[state.flow_id].head is queue[0]:
+            return None
+        return last
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def _snapshot_extra(self):
+        nodes = {}
+        for name, node_obj in self._nodes.items():
+            nodes[name] = {
+                "share": node_obj.share,
+                "rate": node_obj.rate,
+                "head": None if node_obj.head is None else node_obj.head.uid,
+                "start_tag": node_obj.start_tag,
+                "finish_tag": node_obj.finish_tag,
+                "virtual": node_obj.virtual,
+                "reference": node_obj.reference,
+                "busy": node_obj.busy,
+                "active_child": (None if node_obj.active_child is None
+                                 else node_obj.active_child.name),
+                "epoch": node_obj.epoch,
+                "policy": (None if node_obj.policy is None
+                           else node_obj.policy.snapshot()),
+            }
+        return {
+            "tree_epoch": self._tree_epoch,
+            # The in-flight packet is in no queue (the base dequeue popped
+            # it) but the tree still references it, so it travels in full.
+            "in_flight": (None if self._in_flight is None
+                          else self._in_flight.to_dict()),
+            "nodes": nodes,
+        }
+
+    def _restore_extra(self, extra, uid_map):
+        if set(extra["nodes"]) != set(self._nodes):
+            mismatched = set(extra["nodes"]) ^ set(self._nodes)
+            raise ConfigurationError(
+                f"{self.name}: snapshot tree does not match this hierarchy "
+                f"(mismatched nodes: {sorted(mismatched)})"
+            )
+        from repro.core.packet import Packet
+        if extra["in_flight"] is not None:
+            packet = Packet.from_dict(extra["in_flight"])
+            uid_map[packet.uid] = packet
+            self._in_flight = packet
+        else:
+            self._in_flight = None
+        self._tree_epoch = extra["tree_epoch"]
+        nodes = self._nodes
+        for name, ns in extra["nodes"].items():
+            node_obj = nodes[name]
+            node_obj.share = ns["share"]
+            self.spec[name].share = ns["share"]
+            if ns["rate"] != node_obj.rate:
+                node_obj.rate = ns["rate"]
+                node_obj.inv_rate = 1 / ns["rate"]
+            node_obj.head = (None if ns["head"] is None
+                             else uid_map[ns["head"]])
+            node_obj.start_tag = ns["start_tag"]
+            node_obj.finish_tag = ns["finish_tag"]
+            node_obj.virtual = ns["virtual"]
+            node_obj.reference = ns["reference"]
+            node_obj.busy = ns["busy"]
+            node_obj.active_child = (None if ns["active_child"] is None
+                                     else nodes[ns["active_child"]])
+            node_obj.epoch = ns["epoch"]
+        # Policies second: heap items resolve through the node table and
+        # phi tables read the already-restored shares.
+        for name, ns in extra["nodes"].items():
+            if ns["policy"] is not None:
+                nodes[name].policy.restore(ns["policy"], nodes)
 
 
 # ----------------------------------------------------------------------

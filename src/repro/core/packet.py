@@ -48,6 +48,36 @@ class Packet:
         self.seqno = seqno
         self.payload = payload
 
+    def to_dict(self):
+        """Plain-data form for checkpointing (see ``from_dict``).
+
+        ``payload`` is carried by reference, not serialised: snapshots are
+        in-process checkpoints, and higher layers (e.g. the TCP model) own
+        whatever lifecycle their payload objects have.
+        """
+        return {
+            "uid": self.uid,
+            "flow_id": self.flow_id,
+            "length": self.length,
+            "arrival_time": self.arrival_time,
+            "seqno": self.seqno,
+            "payload": self.payload,
+        }
+
+    @classmethod
+    def from_dict(cls, d):
+        """Rebuild a packet from ``to_dict``, preserving its ``uid``.
+
+        The global uid counter is not rewound: packets created after a
+        restore keep drawing fresh ids, so a restored packet and a new one
+        can never collide.
+        """
+        packet = cls(d["flow_id"], d["length"],
+                     arrival_time=d["arrival_time"], seqno=d["seqno"],
+                     payload=d["payload"])
+        packet.uid = d["uid"]
+        return packet
+
     def __repr__(self):
         parts = [f"flow={self.flow_id!r}", f"len={self.length!r}"]
         if self.arrival_time is not None:

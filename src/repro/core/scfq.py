@@ -95,3 +95,37 @@ class SCFQScheduler(PacketScheduler):
 
     def system_virtual_time(self, now=None):
         return self._virtual
+
+    # ------------------------------------------------------------------
+    # Robustness hooks (reconfiguration / eviction / checkpoint)
+    # ------------------------------------------------------------------
+    def _on_reconfigured(self):
+        # Keep start tags, rebase finish tags under the new rates and
+        # re-key the finish-ordered heap.
+        heads = self._heads
+        for state in self._flows.values():
+            if not state.queue:
+                continue
+            finish = state.start_tag \
+                + state.queue[0].length * self._inv_rate(state)
+            state.finish_tag = finish
+            heads.update(state.flow_id, (finish, state.index))
+
+    def _on_packet_evicted(self, state, packet, index, now):
+        if index != 0:
+            return
+        if state.queue:
+            finish = state.start_tag \
+                + state.queue[0].length * self._inv_rate(state)
+            state.finish_tag = finish
+            self._heads.update(state.flow_id, (finish, state.index))
+        else:
+            state.finish_tag = state.start_tag
+            self._heads.discard(state.flow_id)
+
+    def _snapshot_extra(self):
+        return {"virtual": self._virtual, "heads": self._heads.snapshot()}
+
+    def _restore_extra(self, extra, uid_map):
+        self._virtual = extra["virtual"]
+        self._heads.restore(extra["heads"])

@@ -24,9 +24,11 @@ Subclasses implement four hooks (``_on_enqueue``, ``_select_flow``,
 ``_on_dequeued``, ``_on_system_empty``) and never touch the queues directly.
 """
 
+import numbers
 from collections import deque
 
 from repro.core.flow import FlowConfig
+from repro.core.packet import Packet
 from repro.errors import (
     ConfigurationError,
     DuplicateFlowError,
@@ -35,7 +37,19 @@ from repro.errors import (
 )
 from repro.obs.events import DequeueEvent, DropEvent, EnqueueEvent, EventBus
 
-__all__ = ["PacketScheduler", "ScheduledPacket", "FlowState"]
+__all__ = ["PacketScheduler", "ScheduledPacket", "FlowState",
+           "DROP_TAIL", "DROP_FRONT", "DROP_LONGEST"]
+
+_INF = float("inf")
+
+#: Drop policies for finite buffers.  ``tail`` rejects the arriving packet,
+#: ``front`` evicts the oldest queued packet of the over-limit flow (so the
+#: freshest data survives — the classic choice for control traffic), and
+#: ``longest`` (shared buffer only) evicts from the currently longest queue
+#: (longest-queue-drop, which approximately equalises per-flow loss).
+DROP_TAIL = "tail"
+DROP_FRONT = "front"
+DROP_LONGEST = "longest"
 
 
 class ScheduledPacket:
@@ -152,8 +166,20 @@ class PacketScheduler:
         self._flows = {}
         self._next_flow_index = 0
         self._buffer_limits = {}
+        #: flow_id -> non-default drop policy (absent means drop-tail).
+        self._drop_policies = {}
+        #: Scheduler-wide packet budget shared by all flows (None = off).
+        self._shared_limit = None
+        self._shared_policy = DROP_TAIL
         self._drops = {}
         self._drops_total = 0
+        #: Lifetime drop count: unlike ``_drops_total`` it is *never*
+        #: decremented (``remove_flow`` forgets a departed flow's counter),
+        #: so the conservation ledger stays balanced across flow churn.
+        self._drops_lifetime = 0
+        #: Offered packets (accepted or dropped); the conservation ledger's
+        #: left-hand side.
+        self._arrivals = 0
         self._total_share = 0
         self._backlog_packets = 0
         self._backlog_bits = 0
@@ -213,9 +239,59 @@ class PacketScheduler:
         self._share_gen += 1
         # Per-flow policy state must not leak to a future flow that happens
         # to reuse the id: a stale buffer cap would silently throttle it and
-        # a stale drop counter would misattribute losses.
+        # a stale drop counter would misattribute losses.  (The lifetime
+        # drop counter keeps the departed flow's drops: conservation
+        # accounts packets, not flows.)
         self._buffer_limits.pop(flow_id, None)
+        self._drop_policies.pop(flow_id, None)
         self._drops_total -= self._drops.pop(flow_id, 0)
+
+    # ------------------------------------------------------------------
+    # Live reconfiguration
+    # ------------------------------------------------------------------
+    def set_share(self, flow_id, share):
+        """Renegotiate a flow's service share during a run.
+
+        Existing head-of-queue start tags are kept (they record service
+        already owed) and derived state — finish tags, heap keys, cached
+        inverse rates — is rebased by the subclass's
+        :meth:`_on_reconfigured` hook, so eq. (27)'s ``min S_i`` arm and
+        the SEFF eligibility classification are unaffected.
+        """
+        state = self._flow(flow_id)
+        if share <= 0:
+            raise ConfigurationError(
+                f"flow {flow_id!r}: share must be positive, got {share!r}"
+            )
+        old = state.config.share
+        if share == old:
+            return
+        state.config = FlowConfig(flow_id, share, name=state.config.name)
+        self._total_share += share - old
+        self._share_gen += 1
+        self._on_reconfigured()
+
+    def set_link_rate(self, rate):
+        """Change the output link rate during a run (e.g. link degradation).
+
+        Tags are rebased exactly as for :meth:`set_share`: start tags are
+        service baselines and persist; finish tags are recomputed under the
+        new rate by :meth:`_on_reconfigured`.
+        """
+        if rate == self._rate:
+            return
+        self.rate = rate  # validates and bumps _share_gen
+        self._on_reconfigured()
+
+    def _on_reconfigured(self):
+        """Hook: rebase derived tag state after a share/rate change.
+
+        Called after ``_total_share`` / ``rate`` and ``_share_gen`` have
+        been updated.  Tag-based subclasses recompute each backlogged
+        head's finish tag ``F = S + L / r_i'`` and re-key finish-keyed
+        heap entries; round-robin subclasses refresh cached share minima.
+        The base implementation does nothing (FIFO ignores shares).
+        """
 
     def _flow(self, flow_id):
         try:
@@ -350,19 +426,56 @@ class PacketScheduler:
     # ------------------------------------------------------------------
     # Main operations
     # ------------------------------------------------------------------
-    def set_buffer_limit(self, flow_id, packets):
-        """Cap a flow's queue at ``packets``; excess arrivals are dropped
-        (drop-tail).  ``None`` removes the cap.  Finite buffers are what let
-        TCP sources self-regulate in the link-sharing experiments."""
+    def set_buffer_limit(self, flow_id, packets, policy=DROP_TAIL):
+        """Cap a flow's queue at ``packets``; ``None`` removes the cap.
+
+        ``policy`` selects what happens on an over-limit arrival:
+        ``"tail"`` rejects the arriving packet (the default; what lets TCP
+        sources self-regulate in the link-sharing experiments), ``"front"``
+        evicts the flow's oldest queued packet and accepts the arrival.
+        """
         self._flow(flow_id)
         if packets is None:
             self._buffer_limits.pop(flow_id, None)
+            self._drop_policies.pop(flow_id, None)
+            return
+        if packets < 1:
+            raise ConfigurationError(
+                f"buffer limit must be >= 1 packet, got {packets!r}"
+            )
+        if policy not in (DROP_TAIL, DROP_FRONT):
+            raise ConfigurationError(
+                f"per-flow drop policy must be {DROP_TAIL!r} or "
+                f"{DROP_FRONT!r}, got {policy!r}"
+            )
+        self._buffer_limits[flow_id] = packets
+        if policy == DROP_TAIL:
+            self._drop_policies.pop(flow_id, None)
         else:
-            if packets < 1:
-                raise ConfigurationError(
-                    f"buffer limit must be >= 1 packet, got {packets!r}"
-                )
-            self._buffer_limits[flow_id] = packets
+            self._drop_policies[flow_id] = policy
+
+    def set_shared_buffer(self, packets, policy=DROP_TAIL):
+        """Cap the *total* backlog at ``packets``; ``None`` removes the cap.
+
+        ``policy``: ``"tail"`` rejects the arriving packet; ``"longest"``
+        (longest-queue-drop) evicts the newest packet of the currently
+        longest queue and accepts the arrival.
+        """
+        if packets is None:
+            self._shared_limit = None
+            self._shared_policy = DROP_TAIL
+            return
+        if packets < 1:
+            raise ConfigurationError(
+                f"shared buffer limit must be >= 1 packet, got {packets!r}"
+            )
+        if policy not in (DROP_TAIL, DROP_LONGEST):
+            raise ConfigurationError(
+                f"shared drop policy must be {DROP_TAIL!r} or "
+                f"{DROP_LONGEST!r}, got {policy!r}"
+            )
+        self._shared_limit = packets
+        self._shared_policy = policy
 
     def drops(self, flow_id=None):
         """Packets dropped by the buffer cap (per flow, or total).
@@ -374,6 +487,141 @@ class PacketScheduler:
         if flow_id is None:
             return self._drops_total
         return self._drops.get(flow_id, 0)
+
+    def conservation(self):
+        """The packet ledger: ``arrivals == departures + drops + backlog``.
+
+        ``drops`` here is the *lifetime* counter (never decremented by
+        ``remove_flow``), so the ledger balances across flow churn; the
+        chaos harness asserts ``balanced`` after every fault scenario.
+        """
+        arrivals = self._arrivals
+        departures = self._dequeues
+        dropped = self._drops_lifetime
+        backlog = self._backlog_packets
+        return {
+            "arrivals": arrivals,
+            "departures": departures,
+            "drops": dropped,
+            "backlog": backlog,
+            "balanced": arrivals == departures + dropped + backlog,
+        }
+
+    # ------------------------------------------------------------------
+    # Drop bookkeeping (buffer-limit enforcement)
+    # ------------------------------------------------------------------
+    def _validate_length(self, length):
+        """Slow-path packet length validation (fast paths inline the
+        common int/float cases); raises ConfigurationError on any value
+        that would corrupt tag arithmetic."""
+        if isinstance(length, bool) or not isinstance(length, numbers.Real):
+            raise ConfigurationError(
+                f"{self.name}: packet length must be a real number, "
+                f"got {length!r}"
+            )
+        if not length > 0:  # False for non-positives *and* NaN
+            raise ConfigurationError(
+                f"{self.name}: packet length must be positive, "
+                f"got {length!r}"
+            )
+        if length == _INF:
+            raise ConfigurationError(
+                f"{self.name}: packet length must be finite, got {length!r}"
+            )
+
+    def _record_drop(self, packet, now, policy, evicted):
+        flow_id = packet.flow_id
+        count = self._drops.get(flow_id, 0) + 1
+        self._drops[flow_id] = count
+        self._drops_total += 1
+        self._drops_lifetime += 1
+        obs = self._obs
+        if obs is not None:
+            obs.emit(DropEvent(now, self.name, flow_id, packet.uid,
+                               packet.length, count, policy, evicted))
+
+    def _evict(self, state, index, now, policy):
+        """Evict ``state.queue[index]``, charging the drop to its flow."""
+        queue = state.queue
+        victim = queue[index]
+        if index == 0:
+            queue.popleft()
+        else:
+            del queue[index]
+        state.bits_queued -= victim.length
+        self._backlog_packets -= 1
+        self._backlog_bits -= victim.length
+        self._on_packet_evicted(state, victim, index, now)
+        self._record_drop(victim, now, policy, True)
+        return victim
+
+    def _evictable_front_index(self, state):
+        """Queue slot drop-front may evict, or None when it must refuse.
+
+        The hierarchical scheduler overrides this: a committed logical
+        head (possibly adopted up the tree) must never be evicted.
+        """
+        return 0
+
+    def _evictable_tail_index(self, state):
+        """Queue slot longest-queue-drop may evict, or None to skip."""
+        return len(state.queue) - 1
+
+    def _admit_over_limit(self, state, packet, now):
+        """Per-flow cap reached: apply the flow's drop policy.
+
+        Returns True when the arrival should be accepted (an old packet
+        was evicted to make room), False when the arrival was dropped.
+        """
+        policy = self._drop_policies.get(packet.flow_id, DROP_TAIL)
+        if policy == DROP_FRONT:
+            index = self._evictable_front_index(state)
+            if index is not None:
+                self._evict(state, index, now, policy)
+                return True
+        self._record_drop(packet, now, policy, False)
+        return False
+
+    def _admit_over_shared(self, state, packet, now):
+        """Shared buffer full: apply the scheduler-wide drop policy."""
+        policy = self._shared_policy
+        if policy == DROP_LONGEST:
+            victim = self._lqd_victim()
+            if victim is not None:
+                victim_state, index = victim
+                self._evict(victim_state, index, now, policy)
+                return True
+        self._record_drop(packet, now, policy, False)
+        return False
+
+    def _lqd_victim(self):
+        """(FlowState, queue index) of the longest-queue-drop victim.
+
+        The longest *evictable* queue wins; registration order breaks
+        ties.  O(N) — acceptable on the drop path, which only runs under
+        overload.
+        """
+        best = None
+        best_len = 0
+        for flow_state in self._flows.values():
+            qlen = len(flow_state.queue)
+            if qlen > best_len:
+                index = self._evictable_tail_index(flow_state)
+                if index is not None:
+                    best = (flow_state, index)
+                    best_len = qlen
+        return best
+
+    def _on_packet_evicted(self, state, packet, index, now):
+        """Hook: a queued packet left ``state.queue[index]`` by eviction.
+
+        Subclasses with head-of-queue tags must re-tag when ``index == 0``:
+        the successor inherits the evicted head's start tag (service that
+        was never consumed) and only the finish tag is recomputed for the
+        new head length; when the queue emptied, the finish tag is rolled
+        back to the start tag so a later arrival resumes from the same
+        baseline.
+        """
 
     def enqueue(self, packet, now=None):
         """A packet arrives.  ``now`` defaults to ``packet.arrival_time``.
@@ -392,18 +640,31 @@ class PacketScheduler:
         if packet.arrival_time is None:
             packet.arrival_time = now
         state = self._flow(packet.flow_id)
+        length = packet.length
+        # Inline fast path for the common length types; anything unusual
+        # (bool, NaN/inf, non-numeric, exotic Real types) takes the slow
+        # validator, which raises ConfigurationError for invalid values.
+        if type(length) is float:
+            if not 0 < length < _INF:  # False for NaN, inf, non-positive
+                self._validate_length(length)
+        elif type(length) is not int:
+            self._validate_length(length)
+        elif length <= 0:
+            self._validate_length(length)
         self._clock = now
+        self._arrivals += 1
+        # The idle test runs before any eviction: an arrival that makes
+        # room by evicting the system's last queued packet continues the
+        # *same* busy period (no time passed), so tags and V must persist.
+        was_idle = self._backlog_packets == 0
         limit = self._buffer_limits.get(packet.flow_id)
         if limit is not None and len(state.queue) >= limit:
-            drops = self._drops.get(packet.flow_id, 0) + 1
-            self._drops[packet.flow_id] = drops
-            self._drops_total += 1
-            obs = self._obs
-            if obs is not None:
-                obs.emit(DropEvent(now, self.name, packet.flow_id,
-                                   packet.uid, packet.length, drops))
-            return False
-        was_idle = self._backlog_packets == 0
+            if not self._admit_over_limit(state, packet, now):
+                return False
+        if self._shared_limit is not None \
+                and self._backlog_packets >= self._shared_limit:
+            if not self._admit_over_shared(state, packet, now):
+                return False
         was_flow_empty = not state.queue
         state.queue.append(packet)
         state.bits_queued += packet.length
@@ -458,6 +719,15 @@ class PacketScheduler:
             self._on_system_empty(now)
         return record
 
+    def sync(self, now=None):
+        """Settle any lazily deferred internal work up to time ``now``.
+
+        The flat schedulers have none (no-op); the hierarchical scheduler
+        runs a pending RESET-PATH whose transmission has completed, so
+        callers about to check quiescence (detach/remove during fault
+        injection) see the settled tree.
+        """
+
     def drain(self, now=None):
         """Dequeue everything back-to-back; returns the list of records.
 
@@ -473,6 +743,134 @@ class PacketScheduler:
         while not self.is_empty:
             records.append(self.dequeue())
         return records
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def snapshot(self):
+        """Plain-data checkpoint of all mutable scheduler state.
+
+        The snapshot is a nested dict of plain values (numbers, strings,
+        packet dicts, heap entry lists) — picklable, and exact: Fraction
+        tags survive untouched, so a restored run reproduces the original
+        packet-for-packet (``tests/test_checkpoint.py``).
+
+        Restore into a scheduler built by the *same* configuration code
+        (same flow set, same registration order, same topology);
+        :meth:`restore` validates this.  Subclasses contribute their
+        algorithm state via :meth:`_snapshot_extra`.
+        """
+        flows = {}
+        for flow_id, state in self._flows.items():
+            flows[flow_id] = {
+                "queue": [p.to_dict() for p in state.queue],
+                "start_tag": state.start_tag,
+                "finish_tag": state.finish_tag,
+                "bits_queued": state.bits_queued,
+                "index": state.index,
+                "tag_epoch": state.tag_epoch,
+                "share": state.config.share,
+            }
+        return {
+            "scheduler": self.name,
+            "rate": self._rate,
+            "clock": self._clock,
+            "free_at": self._free_at,
+            "tag_epoch": self._tag_epoch,
+            "next_flow_index": self._next_flow_index,
+            "arrivals": self._arrivals,
+            "enqueues": self._enqueues,
+            "dequeues": self._dequeues,
+            "drops": dict(self._drops),
+            "drops_total": self._drops_total,
+            "drops_lifetime": self._drops_lifetime,
+            "backlog_packets": self._backlog_packets,
+            "backlog_bits": self._backlog_bits,
+            "buffer_limits": dict(self._buffer_limits),
+            "drop_policies": dict(self._drop_policies),
+            "shared_limit": self._shared_limit,
+            "shared_policy": self._shared_policy,
+            "flows": flows,
+            "extra": self._snapshot_extra(),
+        }
+
+    def restore(self, snap):
+        """Restore a :meth:`snapshot` into this (compatibly built) scheduler.
+
+        Returns the ``uid -> Packet`` map of the rebuilt queued packets
+        (subclass extras and the Link/Simulator joint checkpoint resolve
+        their packet references through it).
+        """
+        if snap.get("scheduler") != self.name:
+            raise ConfigurationError(
+                f"snapshot is from scheduler {snap.get('scheduler')!r}, "
+                f"cannot restore into {self.name!r}"
+            )
+        flows_snap = snap["flows"]
+        if set(flows_snap) != set(self._flows):
+            missing = set(flows_snap) ^ set(self._flows)
+            raise ConfigurationError(
+                f"{self.name}: snapshot flow set does not match this "
+                f"scheduler (mismatched: {sorted(map(repr, missing))})"
+            )
+        uid_map = {}
+        total_share = 0
+        for flow_id, state in self._flows.items():
+            fs = flows_snap[flow_id]
+            if state.index != fs["index"]:
+                raise ConfigurationError(
+                    f"{self.name}: flow {flow_id!r} was registered in a "
+                    f"different order than the snapshot (index "
+                    f"{state.index} != {fs['index']}); tie-breaks would "
+                    f"diverge"
+                )
+            queue = deque()
+            for packet_dict in fs["queue"]:
+                packet = Packet.from_dict(packet_dict)
+                uid_map[packet.uid] = packet
+                queue.append(packet)
+            state.queue = queue
+            state.start_tag = fs["start_tag"]
+            state.finish_tag = fs["finish_tag"]
+            state.bits_queued = fs["bits_queued"]
+            state.tag_epoch = fs["tag_epoch"]
+            if state.config.share != fs["share"]:
+                state.config = FlowConfig(flow_id, fs["share"],
+                                          name=state.config.name)
+            state.rate_gen = -1  # force inv_rate recomputation
+            total_share += fs["share"]
+        self._total_share = total_share
+        self._rate = snap["rate"]
+        self._share_gen += 1
+        self._clock = snap["clock"]
+        self._free_at = snap["free_at"]
+        self._tag_epoch = snap["tag_epoch"]
+        self._next_flow_index = snap["next_flow_index"]
+        self._arrivals = snap["arrivals"]
+        self._enqueues = snap["enqueues"]
+        self._dequeues = snap["dequeues"]
+        self._drops = dict(snap["drops"])
+        self._drops_total = snap["drops_total"]
+        self._drops_lifetime = snap["drops_lifetime"]
+        self._backlog_packets = snap["backlog_packets"]
+        self._backlog_bits = snap["backlog_bits"]
+        self._buffer_limits = dict(snap["buffer_limits"])
+        self._drop_policies = dict(snap["drop_policies"])
+        self._shared_limit = snap["shared_limit"]
+        self._shared_policy = snap["shared_policy"]
+        self._restore_extra(snap["extra"], uid_map)
+        return uid_map
+
+    def _snapshot_extra(self):
+        """Hook: subclass algorithm state for :meth:`snapshot`.
+
+        Must return plain data; packet references are stored as uids and
+        resolved back through the uid map in :meth:`_restore_extra`.
+        """
+        return None
+
+    def _restore_extra(self, extra, uid_map):
+        """Hook: restore the state captured by :meth:`_snapshot_extra`."""
 
     # ------------------------------------------------------------------
     # Subclass hooks

@@ -95,3 +95,32 @@ class SFQScheduler(PacketScheduler):
 
     def system_virtual_time(self, now=None):
         return self._virtual
+
+    # ------------------------------------------------------------------
+    # Robustness hooks (reconfiguration / eviction / checkpoint)
+    # ------------------------------------------------------------------
+    def _on_reconfigured(self):
+        # The heap is keyed by start tags, which persist across a share or
+        # rate change; only the derived finish tags need recomputing.
+        for state in self._flows.values():
+            if state.queue:
+                state.finish_tag = state.start_tag \
+                    + state.queue[0].length * self._inv_rate(state)
+
+    def _on_packet_evicted(self, state, packet, index, now):
+        if index != 0:
+            return
+        if state.queue:
+            # Start tag (the heap key) is inherited; only F changes.
+            state.finish_tag = state.start_tag \
+                + state.queue[0].length * self._inv_rate(state)
+        else:
+            state.finish_tag = state.start_tag
+            self._heads.discard(state.flow_id)
+
+    def _snapshot_extra(self):
+        return {"virtual": self._virtual, "heads": self._heads.snapshot()}
+
+    def _restore_extra(self, extra, uid_map):
+        self._virtual = extra["virtual"]
+        self._heads.restore(extra["heads"])

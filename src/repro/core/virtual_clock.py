@@ -77,3 +77,52 @@ class VirtualClockScheduler(PacketScheduler):
     def flow_clock(self, flow_id):
         """Current value of a flow's virtual clock (its last finish tag)."""
         return self._flow(flow_id).finish_tag
+
+    # ------------------------------------------------------------------
+    # Robustness hooks (reconfiguration / eviction / checkpoint)
+    # ------------------------------------------------------------------
+    def _on_reconfigured(self):
+        # Virtual Clock tags are per *packet*, fixed at arrival.  A rate
+        # change replays the VC recurrence over each flow's queued packets
+        # under the new rate, anchored at the head's original start (the
+        # service baseline); the flow clock becomes the new last finish.
+        for state in self._flows.values():
+            if not state.queue:
+                continue
+            inv_rate = self._inv_rate(state)
+            tags = self._tags
+            finish = tags[state.queue[0].uid][0]  # head's original start
+            for queued in state.queue:
+                start = finish
+                finish = start + queued.length * inv_rate
+                tags[queued.uid] = (start, finish)
+            state.finish_tag = finish
+            self._heads.update(
+                state.flow_id, (tags[state.queue[0].uid][1], state.index)
+            )
+
+    def _on_packet_evicted(self, state, packet, index, now):
+        # Virtual Clock bills the flow clock at arrival and does not
+        # refund it on eviction (tags are immutable once assigned) — the
+        # pathology the scheduler exists to demonstrate extends naturally
+        # to drops.  Only heap membership needs maintenance.
+        self._tags.pop(packet.uid)
+        if index != 0:
+            return
+        if state.queue:
+            self._heads.update(
+                state.flow_id,
+                (self._tags[state.queue[0].uid][1], state.index),
+            )
+        else:
+            self._heads.discard(state.flow_id)
+
+    def _snapshot_extra(self):
+        return {
+            "heads": self._heads.snapshot(),
+            "tags": dict(self._tags),
+        }
+
+    def _restore_extra(self, extra, uid_map):
+        self._heads.restore(extra["heads"])
+        self._tags = dict(extra["tags"])

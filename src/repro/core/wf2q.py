@@ -23,12 +23,13 @@ the amortised cost is O(log N) on top of the GPS tracking.
 
 from repro.core.gps import GPSFluidSystem
 from repro.core.scheduler import PacketScheduler, ScheduledPacket
+from repro.core.wfq import ExactGPSLimitsMixin
 from repro.dstruct.heap import IndexedHeap
 
 __all__ = ["WF2QScheduler"]
 
 
-class WF2QScheduler(PacketScheduler):
+class WF2QScheduler(ExactGPSLimitsMixin, PacketScheduler):
     """One-level WF2Q server with exact GPS virtual time (SEFF policy)."""
 
     name = "WF2Q"

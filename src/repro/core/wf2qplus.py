@@ -226,3 +226,55 @@ class WF2QPlusScheduler(PacketScheduler):
     def _on_system_empty(self, now):
         # Busy period over; the reset happens lazily on the next enqueue.
         pass
+
+    # ------------------------------------------------------------------
+    # Robustness hooks (reconfiguration / eviction / checkpoint)
+    # ------------------------------------------------------------------
+    def _on_reconfigured(self):
+        # Start tags record service already owed and persist; each
+        # backlogged head's finish tag is rebased to F = S + L / r_i'
+        # under the new rates.  Eligibility (S vs V) is untouched, so only
+        # the finish-keyed eligible heap needs re-keying; the ineligible
+        # and start heaps are keyed by the unchanged S.
+        eligible = self._eligible
+        for state in self._flows.values():
+            if not state.queue:
+                continue
+            finish = state.start_tag \
+                + state.queue[0].length * self._inv_rate(state)
+            state.finish_tag = finish
+            if state.flow_id in eligible.pos:
+                eligible.update(state.flow_id, (finish, state.index))
+
+    def _on_packet_evicted(self, state, packet, index, now):
+        if index != 0:
+            return  # only the head packet carries tags
+        flow_id = state.flow_id
+        if state.queue:
+            finish = state.start_tag \
+                + state.queue[0].length * self._inv_rate(state)
+            state.finish_tag = finish
+            if flow_id in self._eligible.pos:
+                self._eligible.update(flow_id, (finish, state.index))
+            # _ineligible/_starts are keyed by the inherited start tag.
+        else:
+            state.finish_tag = state.start_tag
+            self._eligible.discard(flow_id)
+            self._ineligible.discard(flow_id)
+            self._starts.discard(flow_id)
+
+    def _snapshot_extra(self):
+        return {
+            "virtual": self._virtual,
+            "virtual_stamp": self._virtual_stamp,
+            "eligible": self._eligible.snapshot(),
+            "ineligible": self._ineligible.snapshot(),
+            "starts": self._starts.snapshot(),
+        }
+
+    def _restore_extra(self, extra, uid_map):
+        self._virtual = extra["virtual"]
+        self._virtual_stamp = extra["virtual_stamp"]
+        self._eligible.restore(extra["eligible"])
+        self._ineligible.restore(extra["ineligible"])
+        self._starts.restore(extra["starts"])

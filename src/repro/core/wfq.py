@@ -20,11 +20,57 @@ GPS service (Section 3.1, Figure 2), which makes hierarchies built from WFQ
 from repro.core.gps import GPSFluidSystem
 from repro.core.scheduler import PacketScheduler, ScheduledPacket
 from repro.dstruct.heap import IndexedHeap
+from repro.errors import ConfigurationError
 
-__all__ = ["WFQScheduler"]
+__all__ = ["WFQScheduler", "ExactGPSLimitsMixin"]
 
 
-class WFQScheduler(PacketScheduler):
+class ExactGPSLimitsMixin:
+    """Robustness limits shared by the exact-GPS reference schedulers.
+
+    The embedded exact GPS fluid reference cannot be rebased
+    mid-busy-period (its per-session service curves assume fixed shares
+    and rate) nor have queued packets removed from under it, so live
+    reconfiguration, evicting drop policies and checkpointing are refused
+    explicitly rather than silently desynchronised.  WF2Q+ is the
+    production path and supports all three.
+    """
+
+    _GPS_LIMIT = ("the exact-GPS reference schedulers (WFQ, WF2Q) do not "
+                  "support {what}; use WF2Q+ (the self-contained virtual "
+                  "time) instead")
+
+    def set_share(self, flow_id, share):
+        raise ConfigurationError(
+            f"{self.name}: "
+            + self._GPS_LIMIT.format(what="live share changes"))
+
+    def set_link_rate(self, rate):
+        raise ConfigurationError(
+            f"{self.name}: "
+            + self._GPS_LIMIT.format(what="live rate changes"))
+
+    def set_buffer_limit(self, flow_id, packets, policy="tail"):
+        if packets is not None and policy != "tail":
+            raise ConfigurationError(
+                f"{self.name}: "
+                + self._GPS_LIMIT.format(what="evicting drop policies"))
+        super().set_buffer_limit(flow_id, packets, policy)
+
+    def set_shared_buffer(self, packets, policy="tail"):
+        if packets is not None and policy != "tail":
+            raise ConfigurationError(
+                f"{self.name}: "
+                + self._GPS_LIMIT.format(what="evicting drop policies"))
+        super().set_shared_buffer(packets, policy)
+
+    def snapshot(self):
+        raise ConfigurationError(
+            f"{self.name}: "
+            + self._GPS_LIMIT.format(what="checkpoint/restore"))
+
+
+class WFQScheduler(ExactGPSLimitsMixin, PacketScheduler):
     """One-level WFQ server with exact GPS virtual time (SFF policy)."""
 
     name = "WFQ"

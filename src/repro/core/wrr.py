@@ -80,3 +80,34 @@ class WRRScheduler(PacketScheduler):
             self._in_round.discard(state.flow_id)
             self._current = None
             self._budget = 0
+
+    # ------------------------------------------------------------------
+    # Robustness hooks (reconfiguration / eviction / checkpoint)
+    # ------------------------------------------------------------------
+    def _on_reconfigured(self):
+        # Budgets are derived from share / min_share at visit time; only
+        # the cached minimum needs refreshing.  The in-progress visit keeps
+        # its already-granted budget (the old contract was honoured up to
+        # the change instant).
+        self._min_share = min(
+            (st.share for st in self._flows.values()), default=None
+        )
+
+    # Eviction needs no hook: _select_flow already skips flows whose
+    # queues drained outside a dequeue (stale round entries).
+
+    def _snapshot_extra(self):
+        return {
+            "active": list(self._active),
+            "in_round": sorted(self._in_round, key=repr),
+            "current": self._current,
+            "budget": self._budget,
+            "min_share": self._min_share,
+        }
+
+    def _restore_extra(self, extra, uid_map):
+        self._active = deque(extra["active"])
+        self._in_round = set(extra["in_round"])
+        self._current = extra["current"]
+        self._budget = extra["budget"]
+        self._min_share = extra["min_share"]

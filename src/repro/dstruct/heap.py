@@ -235,6 +235,45 @@ class IndexedHeap:
         self._pos.clear()
 
     # ------------------------------------------------------------------
+    # Checkpoint
+    # ------------------------------------------------------------------
+    def snapshot(self, item_token=None):
+        """Plain-data copy of the heap for checkpoint/restore.
+
+        The entry list is captured slot-for-slot (not just as a key
+        multiset): the heap's internal layout encodes the FIFO tiebreak
+        history, and restore must reproduce *identical* future pop order.
+        ``item_token`` maps each stored item to a serialisable token (e.g.
+        a node name); identity by default.
+        """
+        if item_token is None:
+            entries = [(key, seq, item) for key, seq, item in self._heap]
+        else:
+            entries = [(key, seq, item_token(item)) for key, seq, item
+                       in self._heap]
+        return {"seq": self._seq, "entries": entries}
+
+    def restore(self, snap, item_resolve=None):
+        """Rebuild the heap from a :meth:`snapshot` in place.
+
+        Mutates the existing backing list so the public ``entries``/``pos``
+        aliases held by hot paths stay valid.  ``item_resolve`` inverts the
+        ``item_token`` used at snapshot time.
+        """
+        heap = self._heap
+        heap.clear()
+        if item_resolve is None:
+            heap.extend(tuple(e) for e in snap["entries"])
+        else:
+            heap.extend((key, seq, item_resolve(token))
+                        for key, seq, token in snap["entries"])
+        pos = self._pos
+        pos.clear()
+        for index, entry in enumerate(heap):
+            pos[entry[2]] = index
+        self._seq = snap["seq"]
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _sift_up(self, index):

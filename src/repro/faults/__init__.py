@@ -1,0 +1,39 @@
+"""repro.faults — deterministic fault injection, live reconfiguration
+helpers, and checkpoint/restore for the scheduler zoo.
+
+Three pieces:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan` (a seeded, deterministic
+  schedule of adverse events) and :class:`FaultInjector` (compiles a
+  plan into simulator events, emitting typed
+  :class:`~repro.obs.events.FaultEvent` records).
+* :mod:`repro.faults.chaos` — canned scenarios (link flap, churn storm,
+  share renegotiation, buffer pressure) run under the invariant checker
+  with an exact conservation verdict; the CI smoke gate and the
+  ``python -m repro chaos`` entry point.
+* :mod:`repro.faults.checkpoint` — joint Simulator+Link+scheduler
+  checkpoints for in-process rollback.
+"""
+
+from repro.faults.chaos import (
+    CHAOS_SCHEDULERS,
+    SCENARIOS,
+    ChaosResult,
+    run_all,
+    run_chaos,
+)
+from repro.faults.checkpoint import checkpoint, rollback
+from repro.faults.plan import FaultAction, FaultInjector, FaultPlan
+
+__all__ = [
+    "FaultAction",
+    "FaultInjector",
+    "FaultPlan",
+    "ChaosResult",
+    "SCENARIOS",
+    "CHAOS_SCHEDULERS",
+    "run_chaos",
+    "run_all",
+    "checkpoint",
+    "rollback",
+]

@@ -1,0 +1,36 @@
+"""Joint checkpoint/rollback of a Simulator + Link + scheduler stack.
+
+The individual pieces each know how to snapshot themselves
+(``scheduler.snapshot()``, ``link.snapshot()``, ``sim.snapshot()``); the
+subtlety a joint checkpoint must handle is the in-flight packet's finish
+event, which lives in the simulator queue *and* is re-armed by
+``Link.restore``.  :func:`checkpoint` excludes it from the simulator
+snapshot so :func:`rollback` neither loses nor doubles it.
+
+Checkpoints are in-process: simulator callbacks (traffic sources, fault
+actions) are captured by reference.  Scheduler-only snapshots
+(``scheduler.snapshot()``) are plain data and picklable.
+"""
+
+__all__ = ["checkpoint", "rollback"]
+
+
+def checkpoint(sim, link):
+    """Snapshot a simulator and a link (with its scheduler) jointly."""
+    return {
+        # != not `is not`: each ``link._finish`` access builds a fresh
+        # bound method, so identity never matches; equality compares the
+        # underlying function and instance.
+        "sim": sim.snapshot(keep=lambda e: e.callback != link._finish),
+        "link": link.snapshot(),
+    }
+
+
+def rollback(sim, link, snap):
+    """Restore a joint :func:`checkpoint`; returns the packet uid map.
+
+    The simulator is restored first (the clock must precede the
+    in-flight finish time before the link re-arms it).
+    """
+    sim.restore(snap["sim"])
+    return link.restore(snap["link"], rearm=True)

@@ -31,6 +31,7 @@ from repro.obs.events import (
     DropEvent,
     EnqueueEvent,
     EventBus,
+    FaultEvent,
     NodeRestart,
     SchedulerEvent,
     VirtualTimeUpdate,
@@ -55,6 +56,7 @@ __all__ = [
     "DropEvent",
     "VirtualTimeUpdate",
     "NodeRestart",
+    "FaultEvent",
     "EventBus",
     "event_from_dict",
     "Sink",

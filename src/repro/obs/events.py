@@ -35,6 +35,7 @@ __all__ = [
     "DropEvent",
     "VirtualTimeUpdate",
     "NodeRestart",
+    "FaultEvent",
     "EventBus",
     "event_from_dict",
     "EVENT_KINDS",
@@ -150,22 +151,53 @@ class DequeueEvent(SchedulerEvent):
 
 
 class DropEvent(SchedulerEvent):
-    """A drop-tail buffer cap discarded an arrival.
+    """A buffer cap discarded a packet.
 
     ``drops`` is the flow's cumulative drop count *including* this one.
+    ``policy`` names the drop policy that fired (``"tail"``, ``"front"``,
+    ``"longest"``); ``evicted`` is False when the *arriving* packet was
+    rejected (it never entered a queue) and True when an already-queued
+    packet was evicted to make room — the backlog-conservation audit must
+    decrement its queue model only in the latter case.
     """
 
     kind = "drop"
     _fields = ("time", "scheduler", "flow_id", "packet_uid", "length",
-               "drops")
-    __slots__ = ("flow_id", "packet_uid", "length", "drops")
+               "drops", "policy", "evicted")
+    __slots__ = ("flow_id", "packet_uid", "length", "drops", "policy",
+                 "evicted")
 
-    def __init__(self, time, scheduler, flow_id, packet_uid, length, drops):
+    def __init__(self, time, scheduler, flow_id, packet_uid, length, drops,
+                 policy="tail", evicted=False):
         super().__init__(time, scheduler)
         self.flow_id = flow_id
         self.packet_uid = packet_uid
         self.length = length
         self.drops = drops
+        self.policy = policy
+        self.evicted = evicted
+
+
+class FaultEvent(SchedulerEvent):
+    """A fault-plan action fired (``repro.faults``).
+
+    ``action`` names the injected fault (``link-outage-start``,
+    ``link-rate-change``, ``share-change``, ``flow-added`` ...), ``target``
+    the affected entity (a flow/node name, or None for link-wide faults)
+    and ``value`` the action's parameter (new rate, new share, outage
+    duration), if any.  Fault events mark the exact points where a checked
+    trace is *allowed* to change regime.
+    """
+
+    kind = "fault"
+    _fields = ("time", "scheduler", "action", "target", "value")
+    __slots__ = ("action", "target", "value")
+
+    def __init__(self, time, scheduler, action, target=None, value=None):
+        super().__init__(time, scheduler)
+        self.action = action
+        self.target = target
+        self.value = value
 
 
 class VirtualTimeUpdate(SchedulerEvent):
@@ -222,17 +254,21 @@ class NodeRestart(SchedulerEvent):
 EVENT_KINDS = {
     cls.kind: cls
     for cls in (EnqueueEvent, DequeueEvent, DropEvent, VirtualTimeUpdate,
-                NodeRestart)
+                NodeRestart, FaultEvent)
 }
 
 
 def event_from_dict(d):
-    """Rebuild an event from its ``to_dict`` form (JSONL deserialisation)."""
+    """Rebuild an event from its ``to_dict`` form (JSONL deserialisation).
+
+    Fields absent from the dict fall back to the event constructor's
+    defaults, so traces written before a field existed still load.
+    """
     try:
         cls = EVENT_KINDS[d["kind"]]
     except KeyError:
         raise ValueError(f"unknown event kind: {d.get('kind')!r}") from None
-    return cls(**{f: d[f] for f in cls._fields})
+    return cls(**{f: d[f] for f in cls._fields if f in d})
 
 
 class EventBus:

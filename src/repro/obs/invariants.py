@@ -29,12 +29,26 @@ Checks (each individually switchable):
 Tolerance: comparisons accept a relative slack (``tolerance``, default
 1e-9) so float workloads don't false-positive; exact types
 (int/``Fraction``) are compared exactly when the tolerance is 0.
+
+Fault awareness: a :class:`~repro.obs.events.FaultEvent` whose action
+rebases tags (rate or share changes, subtree attach/detach, restore)
+clears the monotonicity floors for that scheduler — reconfiguration
+legitimately moves clocks and tags, and the guarantee restarts at the
+fault boundary.  Backlog and drop conservation always keep auditing
+across faults.
 """
 
 from repro.errors import InvariantViolation
 from repro.obs.sinks import Sink
 
 __all__ = ["InvariantChecker", "InvariantViolation"]
+
+#: Fault actions that legitimately rebase virtual clocks and tags, so the
+#: monotonicity floors must restart from the next observation.  A link
+#: outage or a flow add/remove leaves tags alone and stays fully checked.
+_REBASING_FAULTS = frozenset({
+    "link_rate", "link_scale", "set_share", "attach", "detach", "restore",
+})
 
 
 class _SchedulerAudit:
@@ -114,6 +128,8 @@ class InvariantChecker(Sink):
             self._on_virtual(event)
         elif kind == "node-restart":
             self._on_restart(event)
+        elif kind == "fault":
+            self._on_fault(event)
 
     # ------------------------------------------------------------------
     # Per-event checks
@@ -179,6 +195,11 @@ class InvariantChecker(Sink):
     def _on_drop(self, ev):
         a = self._audit(ev.scheduler)
         a.drops += 1
+        if ev.evicted and a.backlog is not None:
+            # Drop-front / longest-queue-drop evict an already-queued
+            # packet; the queue model loses one where a rejected arrival
+            # (evicted=False) never entered it.
+            a.backlog -= 1
         if self.check_backlog:
             seen = a.flow_drops.get(ev.flow_id)
             if seen is not None and ev.drops != seen + 1:
@@ -208,6 +229,17 @@ class InvariantChecker(Sink):
                 ev)
         if last is None or value > last:
             audit.virtual[node] = value
+
+    def _on_fault(self, ev):
+        # Reconfiguration recomputes finish tags against new rates/shares
+        # (and SCFQ-style clocks track the in-service finish tag), so the
+        # monotonicity guarantee restarts at the fault boundary.  Backlog
+        # and drop accounting deliberately survive: faults never excuse a
+        # lost packet.
+        if ev.action in _REBASING_FAULTS:
+            a = self._audit(ev.scheduler)
+            a.virtual.clear()
+            a.start_tags.clear()
 
     def _on_restart(self, ev):
         if not self.check_tags:

@@ -16,7 +16,6 @@ Callbacks may schedule further events.  ``schedule`` returns an
 """
 
 import heapq
-import itertools
 
 from repro.errors import SimulationError
 
@@ -72,7 +71,11 @@ class Simulator:
 
     def __init__(self):
         self._queue = []
-        self._seq = itertools.count()
+        #: Monotone event sequence number.  A plain int (not
+        #: itertools.count) so :meth:`snapshot` can capture and
+        #: :meth:`restore` reinstate it — FIFO tie-breaking must replay
+        #: identically after a checkpoint rollback.
+        self._seq = 0
         self._now = 0.0
         self._running = False
         self._processed = 0
@@ -122,7 +125,9 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time!r}: clock is already {self._now!r}"
             )
-        event = Event(time, priority, next(self._seq), callback, args, self)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, priority, seq, callback, args, self)
         heapq.heappush(self._queue, event)
         return event
 
@@ -182,6 +187,51 @@ class Simulator:
                 self.event_hook(event)
             return event
         return None
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def snapshot(self, keep=None):
+        """Checkpoint the clock, sequence counter and live event queue.
+
+        Callbacks and their argument tuples are captured *by reference*,
+        so the snapshot supports in-process rollback (re-running a fault
+        scenario from a checkpoint), not cross-process persistence.
+        ``keep`` optionally filters events (``keep(event) -> bool``); a
+        joint Link+Simulator checkpoint excludes the link's in-flight
+        finish event here and re-arms it from the link's own snapshot, so
+        it is neither lost nor doubled.
+        """
+        events = [
+            (e.time, e.priority, e.seq, e.callback, e.args)
+            for e in self._queue
+            if not e.cancelled and (keep is None or keep(e))
+        ]
+        return {
+            "now": self._now,
+            "seq": self._seq,
+            "processed": self._processed,
+            "events": events,
+        }
+
+    def restore(self, snap):
+        """Roll back to a :meth:`snapshot`.
+
+        Must not be called from inside a running event loop.  Event
+        handles issued before the snapshot refer to the abandoned
+        timeline: do not ``cancel()`` them after restoring.
+        """
+        if self._running:
+            raise SimulationError("cannot restore while the loop is running")
+        self._queue = [
+            Event(time, priority, seq, callback, args, self)
+            for time, priority, seq, callback, args in snap["events"]
+        ]
+        heapq.heapify(self._queue)
+        self._cancelled = 0
+        self._now = snap["now"]
+        self._seq = snap["seq"]
+        self._processed = snap["processed"]
 
     def __repr__(self):
         return f"Simulator(now={self._now!r}, pending={self.pending})"

@@ -49,6 +49,12 @@ class Link:
         self.propagation_delay = propagation_delay
         self.trace = trace
         self._transmitting = False
+        #: (ScheduledPacket, finish Event) while transmitting, else None.
+        self._current = None
+        #: True while administratively down (fault injection): the packet
+        #: in flight completes, but no new transmission starts until
+        #: :meth:`resume`.
+        self._paused = False
         self._bits_sent = 0
         self._packets_sent = 0
         self._packets_dropped = 0
@@ -109,23 +115,26 @@ class Link:
             return False
         if self.trace is not None:
             self.trace.record_arrival(packet, now)
-        if not self._transmitting:
+        if not self._transmitting and not self._paused:
             self._start_next(now)
         return True
 
     def _start_next(self, now):
         record = self.scheduler.dequeue(now=now)
         self._transmitting = True
-        self.sim.schedule(record.finish_time, self._finish, record, priority=-1)
+        event = self.sim.schedule(record.finish_time, self._finish, record,
+                                  priority=-1)
+        self._current = (record, event)
 
     def _finish(self, record):
         now = self.sim.now
+        self._current = None
         self._bits_sent += record.packet.length
         self._packets_sent += 1
         if self.trace is not None:
             self.trace.record_service(record)
         self._transmitting = False
-        if not self.scheduler.is_empty:
+        if not self._paused and not self.scheduler.is_empty:
             self._start_next(now)
         if self.receiver is not None:
             if self.propagation_delay > 0:
@@ -133,6 +142,127 @@ class Link:
                                   self.receiver, record.packet, now + self.propagation_delay)
             else:
                 self.receiver(record.packet, now)
+
+    # ------------------------------------------------------------------
+    # Fault injection: outage windows and live rate changes
+    # ------------------------------------------------------------------
+    @property
+    def paused(self):
+        return self._paused
+
+    @property
+    def current(self):
+        """The :class:`ScheduledPacket` in flight, or None."""
+        return self._current[0] if self._current is not None else None
+
+    def pause(self):
+        """Take the link down at packet granularity.
+
+        The packet in flight (if any) finishes its transmission — its
+        finish time was a contract with the scheduler's tag arithmetic —
+        but no new transmission starts until :meth:`resume`.  Arrivals
+        keep queueing (and the buffer caps keep dropping), so outage
+        windows exercise exactly the backlog/conservation paths.
+        """
+        self._paused = True
+
+    def resume(self):
+        """Bring the link back up; restarts transmission if backlogged."""
+        if not self._paused:
+            return
+        self._paused = False
+        if not self._transmitting and not self.scheduler.is_empty:
+            self._start_next(self.sim.now)
+
+    def set_rate(self, rate):
+        """Change the link rate mid-run (degradation / recovery).
+
+        Delegates to the scheduler's :meth:`set_link_rate`, which rebases
+        its tag state; the packet in flight completes at the old rate (its
+        finish event is already scheduled), subsequent packets transmit at
+        the new one.
+        """
+        self.scheduler.set_link_rate(rate)
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def snapshot(self):
+        """Checkpoint the link (including its scheduler) as plain data.
+
+        For a joint checkpoint with the simulator, capture the simulator
+        with ``sim.snapshot(keep=lambda e: e.callback != link._finish)``
+        — the in-flight finish event is re-armed by :meth:`restore`, so
+        excluding it there keeps it from firing twice.  (Equality, not
+        identity: every ``link._finish`` access builds a fresh bound
+        method.)  :func:`repro.faults.checkpoint` packages this recipe.
+        """
+        current = None
+        if self._current is not None:
+            record, _event = self._current
+            current = {
+                "packet": record.packet.to_dict(),
+                "start_time": record.start_time,
+                "finish_time": record.finish_time,
+                "virtual_start": record.virtual_start,
+                "virtual_finish": record.virtual_finish,
+            }
+        return {
+            "transmitting": self._transmitting,
+            "paused": self._paused,
+            "bits_sent": self._bits_sent,
+            "packets_sent": self._packets_sent,
+            "packets_dropped": self._packets_dropped,
+            "current": current,
+            "scheduler": self.scheduler.snapshot(),
+        }
+
+    def restore(self, snap, rearm=True):
+        """Roll back to a :meth:`snapshot`; returns the packet uid map.
+
+        Restore the simulator *first* (so the clock precedes the in-flight
+        finish time), then the link.  ``rearm`` re-schedules the finish
+        event for the in-flight packet; pass False only when the simulator
+        snapshot deliberately retained the original finish event.
+        """
+        from repro.core.packet import Packet
+        from repro.core.scheduler import ScheduledPacket
+
+        uid_map = self.scheduler.restore(snap["scheduler"])
+        if self._current is not None:
+            # Drop the stale finish event of the abandoned timeline.  If
+            # the simulator was restored first the event is already gone
+            # from its queue, and cancel() would corrupt the tombstone
+            # counter — neutralise the handle instead.
+            stale = self._current[1]
+            if any(stale is event for event in self.sim._queue):
+                stale.cancel()
+            else:
+                stale.cancelled = True
+                stale.sim = None
+            self._current = None
+        self._transmitting = snap["transmitting"]
+        self._paused = snap["paused"]
+        self._bits_sent = snap["bits_sent"]
+        self._packets_sent = snap["packets_sent"]
+        self._packets_dropped = snap["packets_dropped"]
+        if snap["current"] is not None:
+            cur = snap["current"]
+            uid = cur["packet"]["uid"]
+            packet = uid_map.get(uid)
+            if packet is None:
+                packet = Packet.from_dict(cur["packet"])
+                uid_map[uid] = packet
+            record = ScheduledPacket(
+                packet, cur["start_time"], cur["finish_time"],
+                virtual_start=cur["virtual_start"],
+                virtual_finish=cur["virtual_finish"],
+            )
+            if rearm:
+                event = self.sim.schedule(record.finish_time, self._finish,
+                                          record, priority=-1)
+                self._current = (record, event)
+        return uid_map
 
     def __repr__(self):
         return (

@@ -1,0 +1,140 @@
+"""Shared contracts across the whole scheduler zoo.
+
+Two robustness satellites, checked uniformly for every scheduler:
+
+* an empty dequeue raises :class:`EmptySchedulerError` — never ``None``,
+  never an IndexError from some internal structure;
+* enqueue validates packet fields and raises
+  :class:`ConfigurationError` on anything that would corrupt the tag
+  arithmetic (NaN, infinite, non-positive, boolean, or non-numeric
+  lengths), leaving the scheduler state untouched.
+"""
+
+import math
+
+import pytest
+
+from repro.config import leaf, node
+from repro.core import (
+    DRRScheduler,
+    FFQScheduler,
+    FIFOScheduler,
+    HPFQScheduler,
+    SCFQScheduler,
+    SFQScheduler,
+    VirtualClockScheduler,
+    WF2QPlusScheduler,
+    WF2QScheduler,
+    WFQScheduler,
+    WRRScheduler,
+)
+from repro.core.packet import Packet
+from repro.errors import ConfigurationError, EmptySchedulerError
+
+
+def _flat(cls):
+    def build():
+        sched = cls(1000.0)
+        sched.add_flow("a", 1)
+        sched.add_flow("b", 2)
+        return sched
+    return build
+
+
+def _hier(policy):
+    def build():
+        spec = node("root", 1, [
+            node("g", 1, [leaf("a", 1), leaf("b", 2)]),
+        ])
+        return HPFQScheduler(spec, 1000.0, policy=policy)
+    return build
+
+
+BUILDERS = {
+    "fifo": _flat(FIFOScheduler),
+    "wrr": _flat(WRRScheduler),
+    "drr": _flat(DRRScheduler),
+    "scfq": _flat(SCFQScheduler),
+    "sfq": _flat(SFQScheduler),
+    "vclock": _flat(VirtualClockScheduler),
+    "ffq": _flat(FFQScheduler),
+    "wfq": _flat(WFQScheduler),
+    "wf2q": _flat(WF2QScheduler),
+    "wf2qplus": _flat(WF2QPlusScheduler),
+    "hwf2qplus": _hier("wf2qplus"),
+    "hwfq": _hier("wfq"),
+    "hscfq": _hier("scfq"),
+    "hsfq": _hier("sfq"),
+}
+
+
+@pytest.fixture(params=sorted(BUILDERS), ids=sorted(BUILDERS))
+def sched(request):
+    return BUILDERS[request.param]()
+
+
+class TestEmptyDequeueContract:
+    def test_fresh_scheduler_raises(self, sched):
+        with pytest.raises(EmptySchedulerError):
+            sched.dequeue()
+
+    def test_raises_again_after_drain(self, sched):
+        sched.enqueue(Packet("a", 100), now=0.0)
+        sched.enqueue(Packet("b", 100), now=0.0)
+        sched.drain()
+        assert sched.is_empty
+        with pytest.raises(EmptySchedulerError):
+            sched.dequeue()
+        # And the scheduler still works afterwards.
+        sched.enqueue(Packet("a", 100), now=sched.clock)
+        assert sched.dequeue().flow_id == "a"
+
+
+BAD_LENGTHS = [
+    pytest.param(float("nan"), id="nan"),
+    pytest.param(float("inf"), id="inf"),
+    pytest.param(-float("inf"), id="-inf"),
+    pytest.param(0, id="zero"),
+    pytest.param(-100, id="negative"),
+    pytest.param(-0.5, id="negative-float"),
+    pytest.param(True, id="bool"),
+    pytest.param("800", id="string"),
+    pytest.param(None, id="none"),
+]
+
+
+def bad_packet(flow_id, length):
+    """A packet whose length went bad *after* construction (corruption,
+    a hand-built from_dict payload) — the constructor rejects what it
+    can, the scheduler must still guard its own tag arithmetic."""
+    packet = Packet(flow_id, 100)
+    packet.length = length
+    return packet
+
+
+class TestEnqueueValidation:
+    @pytest.mark.parametrize("length", BAD_LENGTHS)
+    def test_bad_length_rejected_without_side_effects(self, sched, length):
+        sched.enqueue(Packet("b", 100), now=0.0)   # a healthy baseline
+        before = sched.conservation()
+        with pytest.raises(ConfigurationError):
+            sched.enqueue(bad_packet("a", length), now=0.0)
+        assert sched.conservation() == before
+        assert sched.backlog == 1
+        assert sched.dequeue().flow_id == "b"
+
+    def test_packet_constructor_rejects_what_it_can(self):
+        with pytest.raises(ValueError):
+            Packet("a", 0)
+        with pytest.raises(ValueError):
+            Packet("a", -5)
+        with pytest.raises(TypeError):
+            Packet("a", "800")
+
+    def test_fractional_and_integral_lengths_accepted(self, sched):
+        from fractions import Fraction
+
+        sched.enqueue(Packet("a", 1), now=0.0)
+        sched.enqueue(Packet("a", 0.25), now=0.0)
+        sched.enqueue(Packet("b", Fraction(1, 3)), now=0.0)
+        assert len(sched.drain()) == 3
