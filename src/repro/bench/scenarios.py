@@ -23,6 +23,14 @@ The scenarios target the hot paths this repo optimises:
 ``zoo``
     Every scheduler in the zoo on the same fixed churn workload, for
     cross-algorithm comparison (includes WFQ's O(N) exact-GPS tax).
+``sim_pipeline``
+    The full stack end to end — traffic sources scheduling themselves on
+    the :class:`~repro.sim.engine.Simulator`, a :class:`~repro.sim.link.Link`
+    draining the scheduler in simulated time.  This is what the
+    experiment and chaos drivers actually run, and the scenario the
+    event-elision/burst-drain fast path targets: cost here is event-loop
+    + source + link overhead *around* the scheduler, not just tag
+    arithmetic.
 """
 
 from time import perf_counter_ns
@@ -153,6 +161,58 @@ def bursty_cost(build, bursts, burst_flows=8, per_flow=2):
     return (perf_counter_ns() - t0) / packets
 
 
+def _pipeline_build(sched_name, workload, n_flows=36):
+    """Scheduler + source list for one end-to-end pipeline point."""
+    from repro.core import FIFOScheduler, HPFQScheduler, WF2QPlusScheduler
+    from repro.traffic.source import CBRSource, PacketTrainSource
+
+    if sched_name == "FIFO":
+        sched = _flat(FIFOScheduler, n_flows)
+    elif sched_name == "WF2Q+":
+        sched = _flat(WF2QPlusScheduler, n_flows)
+    else:
+        # depth 2 x fanout 6 = 36 leaves named "0".."35", same ids as _flat.
+        sched = HPFQScheduler(_balanced_tree(2, 6), _RATE, policy="wf2qplus")
+
+    sources = []
+    if workload == "cbr":
+        # Steady aggregate at 98 % load — the link is near-saturated, so
+        # busy periods are long (the regime the burst-drain targets) —
+        # with starts staggered so arrivals interleave instead of
+        # phase-locking.
+        rate = 0.98 * _RATE / n_flows
+        stagger = _LENGTH / _RATE / n_flows
+        for i in range(n_flows):
+            sources.append(CBRSource(str(i), rate, _LENGTH,
+                                     start_time=i * stagger))
+    else:
+        # Bursts: 32-packet trains at 8x the link rate, 85 % aggregate
+        # load — long busy periods with frequent queue build-up/drain.
+        per_flow = 0.85 * _RATE / n_flows
+        interval = 32 * _LENGTH / per_flow
+        for i in range(n_flows):
+            sources.append(PacketTrainSource(
+                str(i), _LENGTH, train_length=32, train_interval=interval,
+                line_rate=8 * _RATE, start_time=i * interval / n_flows))
+    return sched, sources
+
+
+def pipeline_cost(build, duration):
+    """(ns/packet, packets) of a full source->scheduler->link simulation."""
+    from repro.sim.engine import Simulator
+    from repro.sim.link import Link
+
+    sched, sources = build()
+    sim = Simulator()
+    link = Link(sim, sched)
+    for src in sources:
+        src.attach(sim, link).start()
+    t0 = perf_counter_ns()
+    sim.run(until=duration)
+    elapsed = perf_counter_ns() - t0
+    return elapsed / max(1, link.packets_sent), link.packets_sent
+
+
 # ----------------------------------------------------------------------
 # Scenarios
 # ----------------------------------------------------------------------
@@ -217,11 +277,36 @@ def scenario_zoo(quick):
     return points
 
 
+def scenario_sim_pipeline(quick):
+    repeats = 3
+    durations = {"cbr": 0.02 if quick else 0.2,
+                 "train": 0.05 if quick else 0.4}
+    points = []
+    for sched_name in ("FIFO", "WF2Q+", "H-WF2Q+"):
+        for workload in ("cbr", "train"):
+            duration = durations[workload]
+            counts = []
+
+            def once(sched_name=sched_name, workload=workload,
+                     duration=duration, counts=counts):
+                cost, n = pipeline_cost(
+                    lambda: _pipeline_build(sched_name, workload), duration)
+                counts.append(n)
+                return cost
+
+            cost = best_of(once, repeats)
+            points.append(BenchPoint(
+                "sim_pipeline", sched_name,
+                {"workload": workload, "flows": 36}, counts[-1], cost))
+    return points
+
+
 SCENARIOS = {
     "saturated_churn": scenario_saturated_churn,
     "bursty_onoff": scenario_bursty_onoff,
     "hierarchy": scenario_hierarchy,
     "zoo": scenario_zoo,
+    "sim_pipeline": scenario_sim_pipeline,
 }
 
 

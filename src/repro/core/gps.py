@@ -61,12 +61,14 @@ class GPSPacket:
 
 
 class _GPSFlow:
-    __slots__ = ("flow_id", "share", "last_finish_tag", "final_finish_tag",
-                 "queued", "backlogged", "service_acc", "v_enter")
+    __slots__ = ("flow_id", "share", "phi", "last_finish_tag",
+                 "final_finish_tag", "queued", "backlogged", "service_acc",
+                 "v_enter")
 
     def __init__(self, flow_id, share):
         self.flow_id = flow_id
         self.share = share
+        self.phi = 0               # normalised share, cached by add_flow
         self.last_finish_tag = 0   # F of the most recently arrived packet
         self.final_finish_tag = 0  # F of the last packet still in the system
         self.queued = 0            # packets not yet fully served
@@ -81,6 +83,10 @@ class GPSFluidSystem:
     Time inputs (``arrive``, ``advance``, queries) must be non-decreasing.
     Flows must be registered while the system is idle.
     """
+
+    __slots__ = ("rate", "_flows", "_total_share", "_time", "_virtual",
+                 "_sum_phi", "_backlogged", "_empty_events", "_pending",
+                 "_departed", "_seq", "_uids")
 
     def __init__(self, rate):
         if rate <= 0:
@@ -116,6 +122,11 @@ class GPSFluidSystem:
             )
         self._flows[flow_id] = _GPSFlow(flow_id, share)
         self._total_share += share
+        # Registration changes every flow's normalisation; refresh the
+        # cached phi_i so the hot path never divides by the total again.
+        total = self._total_share
+        for flow in self._flows.values():
+            flow.phi = flow.share / total
 
     def _flow(self, flow_id):
         try:
@@ -125,7 +136,7 @@ class GPSFluidSystem:
 
     def _phi(self, flow):
         """Normalised share (the paper's phi_i, summing to 1)."""
-        return flow.share / self._total_share
+        return flow.phi
 
     def guaranteed_rate(self, flow_id):
         """r_i = phi_i * r."""
@@ -151,13 +162,21 @@ class GPSFluidSystem:
             raise ValueError(
                 f"time moved backwards: {now!r} < {self._time!r}"
             )
+        empty_events = self._empty_events
+        heappop = heapq.heappop
         while self._backlogged:
-            event = self._next_empty_event()
-            if event is None:
+            # Inline peek of the next valid session-empty event (lazy
+            # invalidation of superseded entries) — this runs once per
+            # advance even when no event fires, so it must not allocate.
+            while empty_events:
+                tag, _seq, flow = empty_events[0]
+                if flow.backlogged and tag == flow.final_finish_tag:
+                    break
+                heappop(empty_events)
+            else:
                 # No session-empty pending (shouldn't happen while
                 # backlogged), treat as pure advance.
                 break
-            tag, flow = event
             # Real duration until V reaches `tag` at slope 1/sum_phi.
             dt = (tag - self._virtual) * self._sum_phi
             t_reach = self._time + dt
@@ -166,7 +185,7 @@ class GPSFluidSystem:
                 self._time = t_reach
                 self._virtual = tag
                 self._leave_backlog(flow)
-                heapq.heappop(self._empty_events)
+                heappop(empty_events)
             else:
                 break
         if self._backlogged and now > self._time:
@@ -178,8 +197,7 @@ class GPSFluidSystem:
     def _next_empty_event(self):
         """Peek the next valid session-empty event (lazy invalidation)."""
         while self._empty_events:
-            tag, _seq, flow_id = self._empty_events[0]
-            flow = self._flows[flow_id]
+            tag, _seq, flow = self._empty_events[0]
             if flow.backlogged and tag == flow.final_finish_tag:
                 return tag, flow
             heapq.heappop(self._empty_events)
@@ -187,18 +205,24 @@ class GPSFluidSystem:
 
     def _emit_departures(self, v_new, v_old, t_old):
         """Emit real finish times for packets whose F falls in (v_old, v_new]."""
-        while self._pending and self._pending[0][0] <= v_new:
-            tag, _seq, pkt = heapq.heappop(self._pending)
-            pkt.finish_time = t_old + (tag - v_old) * self._sum_phi
-            flow = self._flows[pkt.flow_id]
-            flow.queued -= 1
-            self._departed.append(pkt)
+        pending = self._pending
+        if not pending or pending[0][0] > v_new:
+            return
+        heappop = heapq.heappop
+        departed = self._departed
+        sum_phi = self._sum_phi
+        flows = self._flows
+        while pending and pending[0][0] <= v_new:
+            tag, _seq, pkt = heappop(pending)
+            pkt.finish_time = t_old + (tag - v_old) * sum_phi
+            flows[pkt.flow_id].queued -= 1
+            departed.append(pkt)
 
     def _leave_backlog(self, flow):
         flow.backlogged = False
-        flow.service_acc += self._phi(flow) * self.rate * (self._virtual - flow.v_enter)
+        flow.service_acc += flow.phi * self.rate * (self._virtual - flow.v_enter)
         self._backlogged.discard(flow.flow_id)
-        self._sum_phi -= self._phi(flow)
+        self._sum_phi -= flow.phi
         if not self._backlogged:
             self._sum_phi = 0  # kill numeric residue
 
@@ -221,19 +245,21 @@ class GPSFluidSystem:
             for f in self._flows.values():
                 f.last_finish_tag = 0
         start = max(flow.last_finish_tag, self._virtual)
-        finish = start + length / (self._phi(flow) * self.rate)
+        finish = start + length / (flow.phi * self.rate)
         pkt = GPSPacket(next(self._uids), flow_id, length, now, start, finish)
         flow.last_finish_tag = finish
         flow.final_finish_tag = finish
         flow.queued += 1
         seq = next(self._seq)
         heapq.heappush(self._pending, (finish, seq, pkt))
-        heapq.heappush(self._empty_events, (finish, seq, flow_id))
+        # The unique seq settles any tie before the heap would ever
+        # compare two (uncomparable) flow objects.
+        heapq.heappush(self._empty_events, (finish, seq, flow))
         if not flow.backlogged:
             flow.backlogged = True
             flow.v_enter = self._virtual
             self._backlogged.add(flow_id)
-            self._sum_phi += self._phi(flow)
+            self._sum_phi += flow.phi
         return pkt
 
     def virtual_time(self, now=None):

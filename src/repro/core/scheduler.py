@@ -639,7 +639,10 @@ class PacketScheduler:
             )
         if packet.arrival_time is None:
             packet.arrival_time = now
-        state = self._flow(packet.flow_id)
+        flow_id = packet.flow_id
+        state = self._flows.get(flow_id)
+        if state is None:
+            raise UnknownFlowError(flow_id)
         length = packet.length
         # Inline fast path for the common length types; anything unusual
         # (bool, NaN/inf, non-numeric, exotic Real types) takes the slow
@@ -657,19 +660,20 @@ class PacketScheduler:
         # room by evicting the system's last queued packet continues the
         # *same* busy period (no time passed), so tags and V must persist.
         was_idle = self._backlog_packets == 0
-        limit = self._buffer_limits.get(packet.flow_id)
-        if limit is not None and len(state.queue) >= limit:
-            if not self._admit_over_limit(state, packet, now):
-                return False
+        if self._buffer_limits:
+            limit = self._buffer_limits.get(flow_id)
+            if limit is not None and len(state.queue) >= limit:
+                if not self._admit_over_limit(state, packet, now):
+                    return False
         if self._shared_limit is not None \
                 and self._backlog_packets >= self._shared_limit:
             if not self._admit_over_shared(state, packet, now):
                 return False
         was_flow_empty = not state.queue
         state.queue.append(packet)
-        state.bits_queued += packet.length
+        state.bits_queued += length
         self._backlog_packets += 1
-        self._backlog_bits += packet.length
+        self._backlog_bits += length
         self._enqueues += 1
         if was_idle:
             # A new system busy period begins now (at the earliest).
@@ -699,11 +703,12 @@ class PacketScheduler:
         self._clock = now
         state = self._select_flow(now)
         packet = state.queue.popleft()
-        state.bits_queued -= packet.length
+        length = packet.length
+        state.bits_queued -= length
         self._backlog_packets -= 1
-        self._backlog_bits -= packet.length
+        self._backlog_bits -= length
         self._dequeues += 1
-        finish = now + packet.length / self._rate
+        finish = now + length / self._rate
         self._free_at = finish
         record = self._make_record(state, packet, now, finish)
         self._on_dequeued(state, packet, now)

@@ -90,10 +90,10 @@ class WF2QPlusScheduler(PacketScheduler):
         """
         tau = now - self._virtual_stamp
         v = self._virtual + tau
-        if floor and self._starts:
-            min_start = self._starts.min_key()
-            if min_start > v:
-                v = min_start
+        if floor:
+            starts = self._starts.entries
+            if starts and starts[0][0] > v:
+                v = starts[0][0]
         self._virtual = v
         self._virtual_stamp = now
         obs = self._obs
@@ -177,7 +177,7 @@ class WF2QPlusScheduler(PacketScheduler):
         self._promote_eligible()
         # The min-S arm of eq. (27) guarantees the eligible heap is
         # non-empty whenever any flow is backlogged.
-        flow_id = self._eligible.peek_item()
+        flow_id = self._eligible.entries[0][2]
         return self._flows[flow_id]
 
     def _on_dequeued(self, state, packet, now):
@@ -185,7 +185,8 @@ class WF2QPlusScheduler(PacketScheduler):
         self._last_virtual_finish = state.finish_tag
         flow_id = state.flow_id
         eligible = self._eligible
-        if eligible and eligible.peek_item() == flow_id:
+        ent = eligible.entries
+        if ent and ent[0][2] == flow_id:
             # Hot path: SEFF selection always serves the eligible top, so
             # the flow can be re-keyed in place with single-sift heap ops
             # instead of the discard x3 + push x2 pattern.  The served

@@ -13,9 +13,21 @@ Usage::
 
 Callbacks may schedule further events.  ``schedule`` returns an
 :class:`Event` handle with ``cancel()``.
+
+Event elision
+-------------
+Components that can compute their own next state change (the
+:class:`~repro.sim.link.Link` during a busy period) may skip the
+schedule/pop round-trip entirely and move the clock themselves with
+:meth:`Simulator.advance_to` — a *bounded* advance that refuses to
+overtake the earliest pending event or the ``until`` horizon of the
+running loop, which is exactly the condition under which eliding an
+event is unobservable.  :attr:`Simulator.events_elided` counts these
+inline advances.
 """
 
 import heapq
+from heapq import heappop, heappush
 
 from repro.errors import SimulationError
 
@@ -25,16 +37,29 @@ __all__ = ["Simulator", "Event"]
 class Event:
     """A scheduled callback; ``cancel()`` before it fires to skip it.
 
-    A cancelled event stays in the simulator's heap (removal from the
-    middle of a binary heap is O(n)); the simulator counts tombstones and
+    The simulator's heap holds ``(time, priority, seq, event)`` tuples,
+    not the events themselves: ``seq`` is unique, so heap comparisons
+    resolve at the tuple level in C and never invoke a Python method —
+    the dominant cost of a pure-Python event loop.  The :class:`Event` is
+    the *handle* riding along in the entry.
+
+    A cancelled event's entry stays in the heap (removal from the middle
+    of a binary heap is O(n)); the simulator counts tombstones and
     compacts the heap once they dominate, so workloads that cancel in bulk
     (e.g. timers rescheduled every packet) stay O(live events).
+
+    ``epoch`` stamps which simulator timeline the event belongs to: a
+    :meth:`Simulator.restore` abandons every previously issued handle and
+    bumps the simulator's epoch, so holders can tell a still-queued event
+    from an abandoned one in O(1) (``event.sim is sim and event.epoch ==
+    sim.epoch``) instead of scanning the queue.
     """
 
     __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled",
-                 "sim")
+                 "sim", "epoch")
 
-    def __init__(self, time, priority, seq, callback, args, sim=None):
+    def __init__(self, time, priority, seq, callback, args, sim=None,
+                 epoch=0):
         self.time = time
         self.priority = priority
         self.seq = seq
@@ -42,6 +67,7 @@ class Event:
         self.args = args
         self.cancelled = False
         self.sim = sim
+        self.epoch = epoch
 
     def cancel(self):
         if self.cancelled:
@@ -80,6 +106,19 @@ class Simulator:
         self._running = False
         self._processed = 0
         self._cancelled = 0
+        self._elided = 0
+        #: Timeline generation, bumped by :meth:`restore`; see
+        #: :class:`Event`.
+        self._epoch = 0
+        #: ``until`` horizon of the currently running loop (None outside
+        #: run() or when running unbounded) — :meth:`advance_to` must not
+        #: overtake it.
+        self._run_until = None
+        #: True while a run() without ``max_events`` is in progress: the
+        #: condition under which inline event elision (burst-drain) keeps
+        #: exact event-per-event semantics.  ``max_events`` counts fired
+        #: callbacks, which elision would skew.
+        self._inline_ok = False
         #: Optional callable ``hook(event)`` invoked after each processed
         #: event — the observability/profiling tap into the event loop
         #: (e.g. counting callbacks per simulated second).  ``None`` keeps
@@ -96,6 +135,17 @@ class Simulator:
         return self._processed
 
     @property
+    def events_elided(self):
+        """Clock advances performed inline via :meth:`advance_to` — each
+        one is a heap round-trip + callback the fast path avoided."""
+        return self._elided
+
+    @property
+    def epoch(self):
+        """Timeline generation; bumped by :meth:`restore`."""
+        return self._epoch
+
+    @property
     def pending(self):
         """Number of live (not-yet-fired, not-cancelled) events."""
         return len(self._queue) - self._cancelled
@@ -107,11 +157,13 @@ class Simulator:
         rebuilt from its live events only when more than half of it is
         tombstones (and at least :data:`COMPACT_MIN_CANCELLED` of them),
         so the rebuild cost is covered by the cancellations it reclaims.
+        The rebuild mutates the list in place: the run loop holds a local
+        alias of the queue, and rebinding would strand it.
         """
         self._cancelled += 1
         if (self._cancelled >= self.COMPACT_MIN_CANCELLED
                 and self._cancelled * 2 > len(self._queue)):
-            self._queue = [e for e in self._queue if not e.cancelled]
+            self._queue[:] = [e for e in self._queue if not e[3].cancelled]
             heapq.heapify(self._queue)
             self._cancelled = 0
 
@@ -127,15 +179,67 @@ class Simulator:
             )
         seq = self._seq
         self._seq = seq + 1
-        event = Event(time, priority, seq, callback, args, self)
-        heapq.heappush(self._queue, event)
+        event = Event(time, priority, seq, callback, args, self, self._epoch)
+        heappush(self._queue, (time, priority, seq, event))
         return event
 
     def schedule_in(self, delay, callback, *args, priority=0):
         """Run ``callback(*args)`` after ``delay`` seconds."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay!r}")
-        return self.schedule(self._now + delay, callback, *args, priority=priority)
+        # Inlined schedule(): a non-negative delay from `now` can never
+        # land in the past, so the past-check is skipped on this path.
+        seq = self._seq
+        self._seq = seq + 1
+        time = self._now + delay
+        event = Event(time, priority, seq, callback, args, self, self._epoch)
+        heappush(self._queue, (time, priority, seq, event))
+        return event
+
+    def peek_time(self):
+        """Time of the earliest live pending event, or None when idle.
+
+        Pops any cancelled tombstones sitting at the top of the heap as a
+        side effect (they are dead weight either way).
+        """
+        queue = self._queue
+        while queue:
+            head = queue[0]
+            if head[3].cancelled:
+                heappop(queue)
+                self._cancelled -= 1
+                continue
+            return head[0]
+        return None
+
+    def advance_to(self, time):
+        """Move the clock to ``time`` without processing an event.
+
+        Bounded: refuses to overtake the earliest pending event or the
+        ``until`` horizon of the currently running loop, so an inline
+        advance can never reorder itself past work the event loop still
+        owes.  This is the primitive behind the link's burst-drain fast
+        path — eliding a finish event is only legal while its time
+        precedes everything else the simulator would run.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot advance to {time!r}: clock is already {self._now!r}"
+            )
+        head = self.peek_time()
+        if head is not None and time > head:
+            raise SimulationError(
+                f"advance_to({time!r}) would overtake the pending event "
+                f"at {head!r}"
+            )
+        until = self._run_until
+        if until is not None and time > until:
+            raise SimulationError(
+                f"advance_to({time!r}) would overtake the run horizon "
+                f"{until!r}"
+            )
+        self._now = time
+        self._elided += 1
 
     def run(self, until=None, max_events=None):
         """Process events until the queue drains, ``until`` is reached, or
@@ -147,27 +251,57 @@ class Simulator:
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
+        self._run_until = until
+        queue = self._queue
+        processed = 0
         try:
-            count = 0
-            while self._queue:
-                if max_events is not None and count >= max_events:
-                    break
-                event = self._queue[0]
-                if until is not None and event.time > until:
-                    break
-                heapq.heappop(self._queue)
-                if event.cancelled:
-                    self._cancelled -= 1
-                    continue
-                event.sim = None  # fired: a late cancel() is a no-op
-                self._now = event.time
-                event.callback(*event.args)
-                self._processed += 1
-                count += 1
-                if self.event_hook is not None:
-                    self.event_hook(event)
+            if max_events is None:
+                # Hot variant: attribute lookups hoisted, no budget check,
+                # and inline elision (Link burst-drain) enabled.  The
+                # event hook is still honoured — re-read each iteration so
+                # a hook attached mid-run takes effect immediately.
+                self._inline_ok = True
+                pop = heappop
+                while queue:
+                    entry = queue[0]
+                    time = entry[0]
+                    if until is not None and time > until:
+                        break
+                    pop(queue)
+                    event = entry[3]
+                    if event.cancelled:
+                        self._cancelled -= 1
+                        continue
+                    event.sim = None  # fired: a late cancel() is a no-op
+                    self._now = time
+                    event.callback(*event.args)
+                    processed += 1
+                    hook = self.event_hook
+                    if hook is not None:
+                        hook(event)
+            else:
+                while queue:
+                    if processed >= max_events:
+                        break
+                    entry = queue[0]
+                    if until is not None and entry[0] > until:
+                        break
+                    heappop(queue)
+                    event = entry[3]
+                    if event.cancelled:
+                        self._cancelled -= 1
+                        continue
+                    event.sim = None  # fired: a late cancel() is a no-op
+                    self._now = entry[0]
+                    event.callback(*event.args)
+                    processed += 1
+                    if self.event_hook is not None:
+                        self.event_hook(event)
         finally:
             self._running = False
+            self._inline_ok = False
+            self._run_until = None
+            self._processed += processed
         if until is not None and self._now < until:
             self._now = until
         return self._now
@@ -175,7 +309,7 @@ class Simulator:
     def step(self):
         """Process exactly one (non-cancelled) event; returns it or None."""
         while self._queue:
-            event = heapq.heappop(self._queue)
+            event = heappop(self._queue)[3]
             if event.cancelled:
                 self._cancelled -= 1
                 continue
@@ -204,7 +338,7 @@ class Simulator:
         """
         events = [
             (e.time, e.priority, e.seq, e.callback, e.args)
-            for e in self._queue
+            for _t, _p, _s, e in self._queue
             if not e.cancelled and (keep is None or keep(e))
         ]
         return {
@@ -219,12 +353,16 @@ class Simulator:
 
         Must not be called from inside a running event loop.  Event
         handles issued before the snapshot refer to the abandoned
-        timeline: do not ``cancel()`` them after restoring.
+        timeline (their ``epoch`` no longer matches): do not ``cancel()``
+        them after restoring.
         """
         if self._running:
             raise SimulationError("cannot restore while the loop is running")
+        self._epoch += 1
+        epoch = self._epoch
         self._queue = [
-            Event(time, priority, seq, callback, args, self)
+            (time, priority, seq,
+             Event(time, priority, seq, callback, args, self, epoch))
             for time, priority, seq, callback, args in snap["events"]
         ]
         heapq.heapify(self._queue)

@@ -10,6 +10,24 @@ the scheduler for the next packet — i.e. the link is work-conserving.
 Every completed transmission is appended to the attached
 :class:`~repro.sim.monitor.ServiceTrace` (if any), which the analysis
 modules consume.
+
+Burst-drain fast path
+---------------------
+During a busy period the per-packet event round-trip (one
+:class:`~repro.sim.engine.Event` allocation, one heap push, one heap pop,
+one bound-method callback) is pure overhead: the link itself knows exactly
+when each transmission ends.  When a transmission completes and the
+scheduler is still backlogged, the link therefore *drains* consecutive
+transmissions inline — advancing the clock with the simulator's bounded
+:meth:`~repro.sim.engine.Simulator.advance_to` — for as long as each
+computed finish time strictly precedes the earliest pending event (and the
+run horizon).  The drain is unobservable by construction: no callback can
+run inside the drained window, every dequeue happens at exactly the same
+clock value as in the event-per-packet path, and the moment any consumer
+needs event granularity (a receiver, an ``event_hook``, a simultaneous
+event, a ``max_events`` budget, pause, or checkpointing's in-flight finish
+handle) the link falls back to scheduling a real finish event.
+``tests/test_sim_fastpath.py`` proves packet-for-packet equivalence.
 """
 
 from repro.errors import SimulationError
@@ -35,10 +53,15 @@ class Link:
     trace:
         Optional :class:`~repro.sim.monitor.ServiceTrace` recording every
         transmission.
+    burst_drain:
+        Enable the event-eliding fast path (default True).  Disabling it
+        forces the event-per-packet loop; the results are identical either
+        way (the differential suite enforces this), so False is only
+        useful for A/B timing and the equivalence tests themselves.
     """
 
     def __init__(self, sim, scheduler, receiver=None, propagation_delay=0.0,
-                 trace=None):
+                 trace=None, burst_drain=True):
         if propagation_delay < 0:
             raise SimulationError(
                 f"propagation delay must be >= 0, got {propagation_delay!r}"
@@ -48,6 +71,7 @@ class Link:
         self.receiver = receiver
         self.propagation_delay = propagation_delay
         self.trace = trace
+        self.burst_drain = burst_drain
         self._transmitting = False
         #: (ScheduledPacket, finish Event) while transmitting, else None.
         self._current = None
@@ -58,6 +82,9 @@ class Link:
         self._bits_sent = 0
         self._packets_sent = 0
         self._packets_dropped = 0
+        #: Transmission time integrated per completed packet, immune to
+        #: mid-run rate changes (unlike ``bits_sent / rate``).
+        self._busy_time = 0.0
         #: Optional callable ``drop_callback(packet, time)`` for tail drops.
         self.drop_callback = None
 
@@ -94,11 +121,29 @@ class Link:
         return self._packets_dropped
 
     @property
+    def busy_time(self):
+        """Seconds spent transmitting (completed packets only)."""
+        return self._busy_time
+
+    @property
     def utilization(self):
-        """Fraction of elapsed simulation time spent transmitting."""
-        if self.sim.now <= 0:
+        """Fraction of elapsed simulation time spent transmitting.
+
+        Busy time is integrated per transmission (each packet contributes
+        its own ``finish - start``, at whatever rate it was sent), so the
+        figure stays correct across mid-run :meth:`set_rate` changes —
+        dividing lifetime ``bits_sent`` by the *current* rate would not.
+        The packet in flight contributes its elapsed portion.
+        """
+        now = self.sim.now
+        if now <= 0:
             return 0.0
-        return self._bits_sent / (self.rate * self.sim.now)
+        busy = self._busy_time
+        if self._current is not None:
+            record = self._current[0]
+            if now > record.start_time:
+                busy += min(now, record.finish_time) - record.start_time
+        return busy / now
 
     # ------------------------------------------------------------------
     def send(self, packet):
@@ -116,6 +161,10 @@ class Link:
         if self.trace is not None:
             self.trace.record_arrival(packet, now)
         if not self._transmitting and not self._paused:
+            # Always via a scheduled event here: send() runs inside some
+            # other callback (a source emission), whose caller may read
+            # the clock afterwards — the drain may only move the clock
+            # from a callback that owns the rest of its event (_finish).
             self._start_next(now)
         return True
 
@@ -127,21 +176,90 @@ class Link:
         self._current = (record, event)
 
     def _finish(self, record):
-        now = self.sim.now
+        sim = self.sim
+        now = sim.now
         self._current = None
         self._bits_sent += record.packet.length
         self._packets_sent += 1
+        self._busy_time += now - record.start_time
         if self.trace is not None:
             self.trace.record_service(record)
         self._transmitting = False
         if not self._paused and not self.scheduler.is_empty:
-            self._start_next(now)
+            if (self.burst_drain and self.receiver is None
+                    and sim._inline_ok and sim.event_hook is None):
+                self._drain(sim, now)
+            else:
+                self._start_next(now)
         if self.receiver is not None:
             if self.propagation_delay > 0:
-                self.sim.schedule(now + self.propagation_delay,
-                                  self.receiver, record.packet, now + self.propagation_delay)
+                sim.schedule(now + self.propagation_delay,
+                             self.receiver, record.packet,
+                             now + self.propagation_delay)
             else:
                 self.receiver(record.packet, now)
+
+    def _drain(self, sim, now):
+        """Transmit consecutive packets inline while no event intervenes.
+
+        Runs inside the finish callback, so nothing else can execute in
+        the drained window: the drain is bounded *strictly* below the
+        earliest pending event (equal-time events keep their heap-ordered
+        semantics by falling back to a real finish event) and weakly by
+        the run horizon (an event at exactly ``until`` still fires).
+        Each iteration performs the same ``dequeue(now=...)`` at the same
+        clock value as the event-per-packet path, so tags, traces, and
+        obs events are bit-identical.
+        """
+        scheduler = self.scheduler
+        dequeue = scheduler.dequeue
+        trace = self.trace
+        bound = sim.peek_time()
+        horizon = sim._run_until
+        # With no observer attached, nothing that runs inside the drain
+        # (scheduler dequeues only) can touch the simulator, so the bound
+        # read above stays valid for the whole drain and the clock can be
+        # moved directly.  Obs sinks are arbitrary user code (one could
+        # schedule an event below the bound); advance_to re-validates
+        # against the live heap and raises rather than overtake it.
+        if scheduler.observer is None:
+            advance = None
+        else:
+            advance = sim.advance_to
+        elided = 0
+        packets = 0
+        bits = 0
+        busy = 0.0
+        try:
+            while True:
+                record = dequeue(now=now)
+                finish = record.finish_time
+                if ((bound is not None and finish >= bound)
+                        or (horizon is not None and finish > horizon)):
+                    # Event granularity needed: back to the event loop.
+                    self._transmitting = True
+                    event = sim.schedule(finish, self._finish, record,
+                                         priority=-1)
+                    self._current = (record, event)
+                    return
+                if advance is None:
+                    sim._now = finish
+                    elided += 1
+                else:
+                    advance(finish)
+                now = finish
+                bits += record.packet.length
+                packets += 1
+                busy += finish - record.start_time
+                if trace is not None:
+                    trace.record_service(record)
+                if scheduler.is_empty:
+                    return
+        finally:
+            sim._elided += elided
+            self._bits_sent += bits
+            self._packets_sent += packets
+            self._busy_time += busy
 
     # ------------------------------------------------------------------
     # Fault injection: outage windows and live rate changes
@@ -213,6 +331,7 @@ class Link:
             "bits_sent": self._bits_sent,
             "packets_sent": self._packets_sent,
             "packets_dropped": self._packets_dropped,
+            "busy_time": self._busy_time,
             "current": current,
             "scheduler": self.scheduler.snapshot(),
         }
@@ -230,12 +349,14 @@ class Link:
 
         uid_map = self.scheduler.restore(snap["scheduler"])
         if self._current is not None:
-            # Drop the stale finish event of the abandoned timeline.  If
-            # the simulator was restored first the event is already gone
-            # from its queue, and cancel() would corrupt the tombstone
+            # Drop the stale finish event of the abandoned timeline.  The
+            # handle itself tells us in O(1) whether it is still queued:
+            # a fired event detached from its simulator (sim is None), and
+            # a simulator restore bumped the epoch past the handle's.  In
+            # either of those cases cancel() would corrupt the tombstone
             # counter — neutralise the handle instead.
             stale = self._current[1]
-            if any(stale is event for event in self.sim._queue):
+            if stale.sim is self.sim and stale.epoch == self.sim.epoch:
                 stale.cancel()
             else:
                 stale.cancelled = True
@@ -246,6 +367,7 @@ class Link:
         self._bits_sent = snap["bits_sent"]
         self._packets_sent = snap["packets_sent"]
         self._packets_dropped = snap["packets_dropped"]
+        self._busy_time = snap.get("busy_time", 0.0)
         if snap["current"] is not None:
             cur = snap["current"]
             uid = cur["packet"]["uid"]

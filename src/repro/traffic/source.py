@@ -31,7 +31,27 @@ __all__ = [
 
 
 class Source:
-    """Base class: owns flow id, packet size, emission window, counters."""
+    """Base class: owns flow id, packet size, emission window, counters.
+
+    Emission runs on one of two equivalent paths:
+
+    * the classic path — every emission event calls :meth:`next_gap` to
+      compute the next one (virtual dispatch + RNG machinery per packet);
+    * the *timetable* path — arrival offsets are precomputed in chunks of
+      :attr:`TIMETABLE_CHUNK` (see :meth:`_next_times`) and each emission
+      event just reads the next absolute time from the array.
+
+    The timetable replicates the classic path's arithmetic operation for
+    operation (same floating-point chaining, same RNG draw order), so the
+    two produce bit-identical arrival streams; subclasses opt in by
+    setting ``TIMETABLE_CHUNK > 0``, which is only valid when the arrival
+    process does not depend on simulation state other than the previous
+    emission time.
+    """
+
+    #: Chunk size of the precomputed-arrival fast path; 0 selects the
+    #: classic per-packet ``next_gap()`` path.
+    TIMETABLE_CHUNK = 0
 
     def __init__(self, flow_id, packet_length, start_time=0.0, stop_time=None):
         if packet_length <= 0:
@@ -59,7 +79,12 @@ class Source:
         """Schedule the first emission."""
         if self.sim is None:
             raise ConfigurationError("attach(sim, link) before start()")
-        self.sim.schedule(self.start_time, self._emit)
+        if self.TIMETABLE_CHUNK > 0:
+            self._timetable = ()
+            self._timetable_idx = 0
+            self.sim.schedule(self.start_time, self._emit_timetable)
+        else:
+            self.sim.schedule(self.start_time, self._emit)
         return self
 
     # -- subclass API ----------------------------------------------------
@@ -72,6 +97,43 @@ class Source:
         gap = self.next_gap()
         if gap is not None:
             self.sim.schedule(now + gap, self._emit)
+
+    def _emit_timetable(self):
+        """Emit one packet now; the next time comes from the chunk buffer."""
+        now = self.sim.now
+        if self.stop_time is not None and now >= self.stop_time:
+            return
+        self._send_packet(now)
+        i = self._timetable_idx
+        times = self._timetable
+        if i >= len(times):
+            times = self._timetable = self._next_times(
+                now, self.TIMETABLE_CHUNK)
+            i = 0
+            if not times:
+                return
+        self._timetable_idx = i + 1
+        self.sim.schedule(times[i], self._emit_timetable)
+
+    def _next_times(self, now, n):
+        """Up to ``n`` upcoming absolute emission times after ``now``.
+
+        The generic version chains :meth:`next_gap` calls, which is valid
+        whenever the gap process never reads the simulator clock (CBR,
+        Poisson, packet trains); clock-dependent processes must override
+        (see :class:`OnOffSource`) or stay on the classic path.
+        """
+        out = []
+        append = out.append
+        next_gap = self.next_gap
+        t = now
+        for _ in range(n):
+            gap = next_gap()
+            if gap is None:
+                break
+            t = t + gap
+            append(t)
+        return out
 
     def _send_packet(self, now, length=None):
         length = length if length is not None else self.packet_length
@@ -90,6 +152,8 @@ class Source:
 class CBRSource(Source):
     """Constant bit rate: one packet every ``packet_length / rate`` seconds."""
 
+    TIMETABLE_CHUNK = 512
+
     def __init__(self, flow_id, rate, packet_length, start_time=0.0,
                  stop_time=None):
         super().__init__(flow_id, packet_length, start_time, stop_time)
@@ -100,9 +164,23 @@ class CBRSource(Source):
     def next_gap(self):
         return self.packet_length / self.rate
 
+    def _next_times(self, now, n):
+        # Chained addition (t + gap, not now + k*gap): identical floating
+        # point to the classic event-per-event accumulation.
+        gap = self.packet_length / self.rate
+        out = []
+        append = out.append
+        t = now
+        for _ in range(n):
+            t = t + gap
+            append(t)
+        return out
+
 
 class PoissonSource(Source):
     """Poisson arrivals with mean rate ``rate`` (bits/second)."""
+
+    TIMETABLE_CHUNK = 256
 
     def __init__(self, flow_id, rate, packet_length, seed=0, start_time=0.0,
                  stop_time=None):
@@ -116,6 +194,21 @@ class PoissonSource(Source):
         mean_gap = self.packet_length / self.rate
         return self._rng.expovariate(1.0 / mean_gap)
 
+    def _next_times(self, now, n):
+        # One draw per packet in the same order as next_gap(), with the
+        # per-call recomputation of the rate parameter hoisted (it is the
+        # same float every time).
+        mean_gap = self.packet_length / self.rate
+        lambd = 1.0 / mean_gap
+        expovariate = self._rng.expovariate
+        out = []
+        append = out.append
+        t = now
+        for _ in range(n):
+            t = t + expovariate(lambd)
+            append(t)
+        return out
+
 
 class OnOffSource(Source):
     """Deterministic on/off: CBR at ``peak_rate`` during on periods.
@@ -124,6 +217,8 @@ class OnOffSource(Source):
     Figure 3 is ``OnOffSource(..., on_duration=0.025, off_duration=0.075)``;
     the Figure 8 on/off sources toggle with second-scale periods.
     """
+
+    TIMETABLE_CHUNK = 256
 
     def __init__(self, flow_id, peak_rate, packet_length, on_duration,
                  off_duration, start_time=0.0, stop_time=None):
@@ -158,6 +253,31 @@ class OnOffSource(Source):
             # defer it to the start of the next on period.
             return cycle - phase
         return gap
+
+    def _next_times(self, now, n):
+        # The gap depends on the emission time (duty-cycle phase), so the
+        # generic gap-chaining precompute does not apply; this replays
+        # next_gap()'s arithmetic with the running timetable time in place
+        # of the simulator clock — operation for operation, including the
+        # boundary snap, so the times are bit-identical.
+        gap = self.packet_length / self.peak_rate
+        cycle = self.on_duration + self.off_duration
+        on = self.on_duration
+        start = self.start_time
+        snap = 1e-9 * cycle
+        out = []
+        append = out.append
+        t = now
+        for _ in range(n):
+            phase = (t - start) % cycle
+            if cycle - phase < snap:
+                phase = 0.0
+            if phase + gap >= on:
+                t = t + (cycle - phase)
+            else:
+                t = t + gap
+            append(t)
+        return out
 
 
 class IntervalSource(Source):
@@ -216,6 +336,11 @@ class PacketTrainSource(Source):
     ``train_interval`` seconds.  With ``jitter_seed`` set, intervals are
     uniformly jittered by +-``jitter`` to avoid perfect phase lock.
     """
+
+    #: The gap process reads only internal state (train position, jitter
+    #: RNG), never the simulator clock, so the generic gap-chaining
+    #: timetable applies as-is.
+    TIMETABLE_CHUNK = 256
 
     def __init__(self, flow_id, packet_length, train_length, train_interval,
                  line_rate, start_time=0.0, stop_time=None, jitter=0.0,

@@ -83,6 +83,28 @@ class TestLink:
         sim.run(until=1.0)
         assert link.utilization == pytest.approx(0.5)
 
+    def test_utilization_across_rate_change(self):
+        # Busy time must be integrated per transmission: 0.5 s at 1000 bps
+        # plus 1.0 s at 500 bps = 1.5 s busy out of 4 s.  The old
+        # ``bits_sent / (rate * now)`` formula would report
+        # 1000 / (500 * 4) = 0.5 after the rate drop.
+        sim, _sched, link, _trace = setup(rate=1000.0)
+        sim.schedule(0.0, lambda: link.send(Packet("a", 500)))
+        sim.schedule(1.0, lambda: link.set_rate(500.0))
+        sim.schedule(1.0, lambda: link.send(Packet("a", 500)))
+        sim.run(until=4.0)
+        assert link.busy_time == pytest.approx(1.5)
+        assert link.utilization == pytest.approx(1.5 / 4.0)
+
+    def test_utilization_counts_packet_in_flight(self):
+        sim, _sched, link, _trace = setup(rate=1000.0)
+        sim.schedule(0.0, lambda: link.send(Packet("a", 500)))
+        sim.run(until=0.25)
+        # Mid-transmission: the in-flight portion counts.
+        assert link.utilization == pytest.approx(1.0)
+        sim.run(until=2.0)
+        assert link.utilization == pytest.approx(0.25)
+
 
 class TestServiceTrace:
     def make_trace(self):

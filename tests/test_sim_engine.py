@@ -141,7 +141,7 @@ class TestLazyCompaction:
         # only the live event, and pending agrees.
         assert len(sim._queue) < Simulator.COMPACT_MIN_CANCELLED
         assert sim.pending == 1
-        assert keep in sim._queue
+        assert any(entry[3] is keep for entry in sim._queue)
 
     def test_pending_counts_only_live_events(self):
         sim = Simulator()
@@ -183,3 +183,79 @@ class TestLazyCompaction:
             ev.cancel()
         sim.run()
         assert out == sorted(survivors)
+
+
+class TestAdvanceTo:
+    """The bounded inline clock advance behind the link's burst-drain."""
+
+    def run_with(self, body, until=None):
+        """Run `body` from inside a callback so _inline_ok is active."""
+        sim = Simulator()
+        out = []
+        sim.schedule(1.0, body, sim, out)
+        sim.run(until=until)
+        return sim, out
+
+    def test_advance_moves_clock_and_counts(self):
+        def body(sim, out):
+            sim.advance_to(1.5)
+            out.append(sim.now)
+            sim.advance_to(1.75)
+            out.append(sim.now)
+
+        sim, out = self.run_with(body)
+        assert out == [1.5, 1.75]
+        assert sim.events_elided == 2
+
+    def test_advance_backwards_rejected(self):
+        def body(sim, out):
+            with pytest.raises(SimulationError):
+                sim.advance_to(0.5)
+
+        self.run_with(body)
+
+    def test_advance_cannot_overtake_pending_event(self):
+        def body(sim, out):
+            sim.schedule(2.0, out.append, "pending")
+            sim.advance_to(2.0)  # exactly at the event is fine
+            with pytest.raises(SimulationError):
+                sim.advance_to(2.5)
+
+        sim, out = self.run_with(body)
+        assert out == ["pending"]
+
+    def test_advance_cannot_overtake_run_horizon(self):
+        def body(sim, out):
+            sim.advance_to(3.0)  # exactly at the horizon is fine
+            with pytest.raises(SimulationError):
+                sim.advance_to(3.1)
+
+        sim, _out = self.run_with(body, until=3.0)
+        assert sim.now == 3.0
+
+    def test_advance_ignores_cancelled_head(self):
+        def body(sim, out):
+            doomed = sim.schedule(2.0, out.append, "doomed")
+            sim.schedule(4.0, out.append, "live")
+            doomed.cancel()
+            sim.advance_to(3.0)  # past the tombstone, before the live event
+            out.append(sim.now)
+
+        sim, out = self.run_with(body)
+        assert out == [3.0, "live"]
+
+    def test_peek_time(self):
+        sim = Simulator()
+        assert sim.peek_time() is None
+        doomed = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.peek_time() == 1.0
+        doomed.cancel()
+        assert sim.peek_time() == 2.0
+
+    def test_run_horizon_cleared_after_run(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=2.0)
+        assert sim._run_until is None
+        assert sim._inline_ok is False
