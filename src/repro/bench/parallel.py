@@ -12,10 +12,15 @@ Spawn-safety: workers receive only picklable ``(name, quick, seed)``
 tuples and re-import the scenario registry themselves, so the default
 ``spawn`` start method works everywhere (macOS, Windows, and any future
 ``forkserver`` configuration).  Each worker seeds :mod:`random` with a
-seed derived deterministically from the scenario *name* — never from the
-worker id or completion order — so any scenario that draws randomness
-produces the same workload no matter which process runs it, at any
-``--jobs`` level.
+seed derived deterministically from the scenario *name and its position
+in the request* — never from the worker id or completion order — so any
+scenario that draws randomness produces the same workload no matter
+which process runs it, at any ``--jobs`` level.  Mixing the request
+index in makes the seeds collision-safe: two distinct names whose crc32
+happens to collide still get distinct seeds within one sweep.  Duplicate
+names are rejected outright — silently reusing a seed (or an index-split
+of one) would make "the same scenario twice" measure two different
+workloads.
 
 Timing caveat: points measured in concurrent processes contend for cores,
 so per-packet costs from a parallel sweep are noisier than a sequential
@@ -38,9 +43,22 @@ _SEED_BASE = 0x5EED
 _DEFAULT_START = "spawn"
 
 
-def scenario_seed(name, base=_SEED_BASE):
-    """Deterministic 32-bit seed for a scenario, derived from its name."""
-    return (zlib.crc32(name.encode("utf-8")) ^ base) & 0xFFFFFFFF
+#: Odd multiplier (golden-ratio based) spreading the index bits so that
+#: consecutive indices perturb the whole 32-bit word, not just the low bits.
+_INDEX_MIX = 0x9E3779B9
+
+
+def scenario_seed(name, index=0, base=_SEED_BASE):
+    """Deterministic 32-bit seed for a scenario.
+
+    Derived from the scenario *name* (crc32) mixed with its *index* in
+    the request, so two distinct names with colliding checksums cannot
+    share a seed within one sweep.  ``index=0`` (the default) keeps the
+    historical name-only seeds for single-scenario callers.
+    """
+    mixed = zlib.crc32(name.encode("utf-8")) ^ base
+    mixed ^= (index * _INDEX_MIX) & 0xFFFFFFFF
+    return mixed & 0xFFFFFFFF
 
 
 def _run_scenario(job):
@@ -80,13 +98,20 @@ def run_scenarios_parallel(names=None, quick=False, jobs=None,
     if unknown:
         raise ValueError(
             f"unknown scenario(s) {unknown}; choose from {sorted(SCENARIOS)}")
+    seen = set()
+    dupes = sorted({n for n in names if n in seen or seen.add(n)})
+    if dupes:
+        raise ValueError(
+            f"duplicate scenario name(s) {dupes}: each scenario may appear "
+            f"at most once per sweep (repeats would reuse its seed)")
     jobs = _resolve_jobs(jobs, len(names))
     if jobs <= 1:
         return run_scenarios(names=names, quick=quick, progress=progress)
     ctx = multiprocessing.get_context(mp_context or _DEFAULT_START)
     results = {}
     with ctx.Pool(processes=jobs) as pool:
-        job_args = [(name, quick, scenario_seed(name)) for name in names]
+        job_args = [(name, quick, scenario_seed(name, index))
+                    for index, name in enumerate(names)]
         for name, points in pool.imap_unordered(_run_scenario, job_args):
             results[name] = points
             if progress is not None:

@@ -31,6 +31,14 @@ The scenarios target the hot paths this repo optimises:
     event-elision/burst-drain fast path targets: cost here is event-loop
     + source + link overhead *around* the scheduler, not just tag
     arithmetic.
+``sharded_pipeline``
+    The sharded driver (:func:`repro.shard.run_sharded`) on the
+    ``cbr_flat`` scenario at 1/2/4 shards, full collection pipeline
+    included (service traces, metrics sinks, merge, digest).  The
+    shards=1 point is the genuine single-process baseline; the ratio
+    cost(1)/cost(N) is the scale-out speedup, which is only > 1 when the
+    machine has spare cores — per-point regression tracking is what the
+    gate checks, the speedup itself is a property of the host.
 """
 
 from time import perf_counter_ns
@@ -301,12 +309,59 @@ def scenario_sim_pipeline(quick):
     return points
 
 
+def scenario_sharded_pipeline(quick):
+    """Sharded scale-out driver, measured end to end (pool included).
+
+    Quick mode runs the *same workload* as full mode — the fixed pool
+    start-up cost would otherwise skew quick-vs-baseline ratios — and
+    trims only the shard counts and repeats.  Workers fork where the
+    platform allows (CI and the baseline machine are both Linux):
+    start-up is milliseconds instead of a fresh interpreter per worker,
+    so the measurement tracks simulation + merge cost.  Spawn
+    correctness is the differential suite's job, not the bench's.
+    """
+    import multiprocessing
+
+    from repro.shard import run_sharded
+
+    flows, cells, duration = 256, 8, 0.05
+    shard_counts = (1, 2) if quick else (1, 2, 4)
+    # Whole-run wall clock (pool, collection, merge, GC) is noisier than
+    # the scheduler-only inner loops; best-of-3 keeps the gate honest.
+    repeats = 2 if quick else 3
+    start = ("fork" if "fork" in multiprocessing.get_all_start_methods()
+             else None)
+    if multiprocessing.current_process().daemon:
+        # A --jobs>1 sweep runs scenarios in daemonic pool workers, which
+        # cannot spawn the shard pool; keep the in-process point and let
+        # compare() report the rest as "missing" (not regressions).
+        shard_counts = (1,)
+    points = []
+    for shards in shard_counts:
+        counts = []
+
+        def once(shards=shards, counts=counts):
+            report = run_sharded("cbr_flat", shards=shards, flows=flows,
+                                 cells=cells, duration=duration,
+                                 mp_context=start)
+            counts.append(report["totals"]["packets_sent"])
+            return 1e9 * report["wall_seconds"] / max(1, counts[-1])
+
+        cost = best_of(once, repeats)
+        points.append(BenchPoint(
+            "sharded_pipeline", "WF2Q+",
+            {"shards": shards, "flows": flows, "cells": cells},
+            counts[-1], cost))
+    return points
+
+
 SCENARIOS = {
     "saturated_churn": scenario_saturated_churn,
     "bursty_onoff": scenario_bursty_onoff,
     "hierarchy": scenario_hierarchy,
     "zoo": scenario_zoo,
     "sim_pipeline": scenario_sim_pipeline,
+    "sharded_pipeline": scenario_sharded_pipeline,
 }
 
 

@@ -8,6 +8,9 @@ Usage (also via ``python -m repro``)::
     python -m repro bounds
     python -m repro stats --scheduler wf2qplus --flows 64 \
         --trace out.jsonl --check
+    python -m repro stats --pipeline --packets 50000
+    python -m repro sim --scenario cbr_flat --shards 4 --verify
+    python -m repro sim --scenario hier --shards 2 --migrate-at 0.005
     python -m repro bench -o BENCH_core.json
     python -m repro bench --quick --compare BENCH_core.json \
         --report regressions.json
@@ -20,7 +23,13 @@ persist the raw series).  ``stats`` is the observability entry point: it
 drives a saturated churn workload through any scheduler in the zoo with
 wall-clock profiling and per-flow metrics attached, optionally writing a
 JSONL event trace (``--trace``) and/or running the full invariant checker
-(``--check``).  ``chaos`` is the robustness gate: it runs the fault
+(``--check``); ``--pipeline`` drives the same workload through the
+simulator+link stack instead, surfacing the event-elision and
+drop-ledger counters.  ``sim`` is the sharded scale-out driver
+(:mod:`repro.shard`): it fans a partition-closed scenario across
+``--shards`` worker processes and prints the merged report's digest,
+which ``--verify`` checks against the single-process run.  ``chaos`` is
+the robustness gate: it runs the fault
 scenarios from :mod:`repro.faults.chaos` under the invariant checker and
 exits 1 unless every run ends violation-free with a balanced conservation
 ledger.
@@ -123,25 +132,58 @@ def _cmd_stats(args):
     sched.attach_observer(*sinks)
     profiler = SchedulerProfiler(sched)
 
-    # Saturated churn: every flow stays backlogged; one enqueue + one
-    # dequeue per transmitted packet (the complexity benchmark's workload).
-    for i in range(args.flows):
-        sched.enqueue(Packet(str(i), args.length), now=0.0)
-        sched.enqueue(Packet(str(i), args.length), now=0.0)
-    for _ in range(args.packets):
-        rec = sched.dequeue()
-        sched.enqueue(Packet(rec.flow_id, args.length),
-                      now=rec.finish_time)
-    while not sched.is_empty:
-        sched.dequeue()
+    sim = None
+    if args.pipeline:
+        # The same packet budget, but end to end: CBR sources scheduling
+        # themselves on the simulator, the link draining the scheduler —
+        # the path where the burst-drain fast path elides events.
+        from repro.sim.engine import Simulator
+        from repro.sim.link import Link
+        from repro.traffic.source import CBRSource
+
+        sim = Simulator()
+        link = Link(sim, sched)
+        aggregate = 0.98 * args.rate
+        stagger = args.length / args.rate / args.flows
+        for i in range(args.flows):
+            CBRSource(str(i), aggregate / args.flows, args.length,
+                      start_time=i * stagger).attach(sim, link).start()
+        sim.run(until=args.packets * args.length / aggregate)
+    else:
+        # Saturated churn: every flow stays backlogged; one enqueue + one
+        # dequeue per transmitted packet (the complexity benchmark's
+        # workload).
+        for i in range(args.flows):
+            sched.enqueue(Packet(str(i), args.length), now=0.0)
+            sched.enqueue(Packet(str(i), args.length), now=0.0)
+        for _ in range(args.packets):
+            rec = sched.dequeue()
+            sched.enqueue(Packet(rec.flow_id, args.length),
+                          now=rec.finish_time)
+        while not sched.is_empty:
+            sched.dequeue()
 
     profiler.detach()
+    workload = "pipeline" if args.pipeline else "churned"
     print(f"repro stats — {sched.name}, {args.flows} flows, "
-          f"{args.packets} churned packets, {args.rate:g} bps")
+          f"{args.packets} {workload} packets, {args.rate:g} bps")
     print()
     print(profiler.format_report())
     print()
     print(metrics.format_report())
+    ledger = sched.conservation()
+    print()
+    print(f"conservation: arrivals={ledger['arrivals']} "
+          f"departures={ledger['departures']} drops={ledger['drops']} "
+          f"backlog={ledger['backlog']} "
+          f"({'balanced' if ledger['balanced'] else 'IMBALANCED'})")
+    if sim is not None:
+        processed = sim.events_processed
+        elided = sim.events_elided
+        total = processed + elided
+        share = 100.0 * elided / total if total else 0.0
+        print(f"events: processed={processed} elided={elided} "
+              f"({share:.1f}% of clock advances inline)")
     if checker is not None:
         print()
         print(f"invariants: OK ({checker.events_checked} events checked, "
@@ -149,6 +191,44 @@ def _cmd_stats(args):
     if jsonl is not None:
         jsonl.close()
         print(f"trace: wrote {jsonl.events_written} events to {jsonl.path}")
+    return 0
+
+
+def _cmd_sim(args):
+    import json
+
+    from repro.errors import ConfigurationError
+    from repro.shard import format_report, run_sharded
+
+    migrate = None
+    if args.migrate_at is not None:
+        migrate = {"cell": args.migrate_cell, "at": args.migrate_at}
+    elif args.migrate_cell is not None:
+        print("repro sim: --migrate-cell requires --migrate-at")
+        return 2
+    params = {"flows": args.flows, "cells": args.cells, "rate": args.rate,
+              "seed": args.seed}
+    try:
+        report = run_sharded(args.scenario, shards=args.shards,
+                             duration=args.duration, migrate=migrate,
+                             **params)
+    except ConfigurationError as exc:
+        print(f"repro sim: {exc}")
+        return 2
+    print(format_report(report))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, default=str)
+            fh.write("\n")
+        print(f"wrote merged report to {args.json}")
+    if args.verify and (args.shards > 1 or migrate is not None):
+        baseline = run_sharded(args.scenario, shards=1,
+                               duration=args.duration, **params)
+        if baseline["digest"] != report["digest"]:
+            print(f"verify: FAIL — single-process digest "
+                  f"{baseline['digest']} != sharded {report['digest']}")
+            return 1
+        print(f"verify: OK — digest matches the single-process run")
     return 0
 
 
@@ -425,7 +505,41 @@ def build_parser():
                          help="write the full event stream as JSON lines")
     p_stats.add_argument("--check", action="store_true",
                          help="run the invariant checker on every event")
+    p_stats.add_argument("--pipeline", action="store_true",
+                         help="drive the workload through the simulator+"
+                              "link stack and report event-elision totals")
     p_stats.set_defaults(func=_cmd_stats)
+
+    from repro.shard.scenarios import SHARD_SCENARIOS
+    p_sim = sub.add_parser(
+        "sim",
+        help="run a partition-closed scenario across N shard workers and "
+             "print the merged report digest")
+    p_sim.add_argument("--scenario", default="cbr_flat",
+                       choices=sorted(SHARD_SCENARIOS))
+    p_sim.add_argument("--shards", type=_positive_int, default=1,
+                       metavar="N",
+                       help="worker processes (1 = single-process baseline)")
+    p_sim.add_argument("--flows", type=_positive_int, default=None)
+    p_sim.add_argument("--cells", type=_positive_int, default=None,
+                       help="independent cells to split the scenario into")
+    p_sim.add_argument("--duration", type=float, default=None,
+                       help="simulated seconds (scenario default if unset)")
+    p_sim.add_argument("--rate", type=float, default=None,
+                       help="per-cell link rate in bits per second")
+    p_sim.add_argument("--seed", type=int, default=1)
+    p_sim.add_argument("--migrate-at", type=float, default=None,
+                       metavar="T",
+                       help="checkpoint one cell at T and resume it in a "
+                            "fresh worker")
+    p_sim.add_argument("--migrate-cell", default=None, metavar="CELL",
+                       help="cell to migrate (default: first flat cell)")
+    p_sim.add_argument("--verify", action="store_true",
+                       help="also run single-process and fail on digest "
+                            "mismatch")
+    p_sim.add_argument("--json", metavar="OUT.JSON", default=None,
+                       help="write the merged report as JSON")
+    p_sim.set_defaults(func=_cmd_sim)
 
     p_bench = sub.add_parser(
         "bench",

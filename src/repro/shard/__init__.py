@@ -1,0 +1,45 @@
+"""repro.shard — sharded scale-out simulation with deterministic merge.
+
+Splits a partition-closed scenario across N worker processes (by flow
+set, H-WF2Q+ subtree, or network component), runs one simulator per
+shard, and merges service traces, metrics, and drop ledgers into a
+single report whose digest is independent of worker count, completion
+order, and checkpoint-based shard migration.  See DESIGN.md §8.
+"""
+
+from repro.shard.driver import run_sharded
+from repro.shard.merge import assemble_report, canonical_digest, format_report
+from repro.shard.partition import (
+    assign_shards,
+    cell_weight,
+    connected_components,
+    subtree_slices,
+    validate_cells,
+)
+from repro.shard.scenarios import SHARD_SCENARIOS, build_scenario
+from repro.shard.worker import (
+    build_cell,
+    checkpoint_cell,
+    merge_segments,
+    resume_cell,
+    run_cells,
+)
+
+__all__ = [
+    "run_sharded",
+    "assemble_report",
+    "canonical_digest",
+    "format_report",
+    "assign_shards",
+    "cell_weight",
+    "connected_components",
+    "subtree_slices",
+    "validate_cells",
+    "SHARD_SCENARIOS",
+    "build_scenario",
+    "build_cell",
+    "checkpoint_cell",
+    "merge_segments",
+    "resume_cell",
+    "run_cells",
+]

@@ -1,0 +1,142 @@
+"""The sharded-run driver: plan, fan out, migrate, merge.
+
+``run_sharded`` is the one entry point.  ``shards=1`` runs every cell in
+a single simulator in-process — the genuine single-process baseline.
+``shards=N`` packs cells onto N spawn-safe worker processes (one
+simulator per worker) and merges the results; the merged report's digest
+is byte-identical to the baseline's, which ``--verify`` (and the CI
+shard-smoke job) checks on every run.
+
+Migration: ``migrate={"cell": id, "at": t}`` takes that cell out of the
+normal plan, checkpoints it at ``t`` (in a pool worker when ``shards>1``)
+and resumes it *in a fresh, separate worker process* — a dedicated
+one-process pool spun up only for the resume, so the checkpoint really
+crosses a process boundary.  The merged digest is unchanged, which the
+migration differential test pins down.
+"""
+
+import multiprocessing
+from time import perf_counter
+
+from repro.errors import ConfigurationError
+from repro.shard.merge import assemble_report
+from repro.shard.partition import assign_shards
+from repro.shard.scenarios import build_scenario
+from repro.shard.worker import (
+    checkpoint_cell,
+    resume_cell,
+    run_cells,
+    run_shard,
+)
+
+__all__ = ["run_sharded"]
+
+#: Spawn never inherits accidental parent state; tests override with
+#: ``fork`` for start-up speed.
+_DEFAULT_START = "spawn"
+
+
+def _resolve(scenario, duration, params):
+    if isinstance(scenario, str):
+        built = build_scenario(scenario, duration=duration, **params)
+    else:
+        built = scenario
+    cells = built["cells"]
+    if not cells:
+        raise ConfigurationError("scenario has no cells")
+    return built["name"], duration or built["duration"], cells
+
+
+def _split_migration(cells, migrate):
+    if migrate is None:
+        return cells, None
+    if migrate.get("cell") is None:
+        flat = sorted((c for c in cells if c["kind"] != "network"),
+                      key=lambda c: str(c["cell"]))
+        if not flat:
+            raise ConfigurationError(
+                "no flat cell available to migrate in this scenario")
+        migrate["cell"] = flat[0]["cell"]
+    target = str(migrate["cell"])
+    chosen = [c for c in cells if str(c["cell"]) == target]
+    if not chosen:
+        raise ConfigurationError(
+            f"cannot migrate unknown cell {migrate['cell']!r}")
+    spec = chosen[0]
+    if spec["kind"] == "network":
+        raise ConfigurationError(
+            "network cells cannot be migrated; pick a flat cell")
+    rest = [c for c in cells if str(c["cell"]) != target]
+    return rest, spec
+
+
+def run_sharded(scenario="cbr_flat", shards=1, duration=None, migrate=None,
+                mp_context=None, **params):
+    """Run a scenario across ``shards`` workers; returns the merged report.
+
+    ``scenario`` is a registered name (params like ``flows``/``cells``/
+    ``rate``/``seed`` pass through to the builder) or a prebuilt
+    ``{"name", "duration", "cells"}`` dict.  ``migrate`` is
+    ``{"cell": id, "at": t}`` with ``0 < t < duration``.
+    """
+    name, duration, cells = _resolve(scenario, duration, params)
+    plan = assign_shards(cells, shards)
+    rest, migrating = _split_migration(cells, migrate)
+    if migrating is not None and not 0 < migrate["at"] < duration:
+        raise ConfigurationError(
+            f"migration time {migrate['at']!r} must fall inside "
+            f"(0, {duration!r})")
+    sim_stats = {"events_processed": 0, "events_elided": 0}
+
+    def absorb(stats):
+        sim_stats["events_processed"] += stats["events_processed"]
+        sim_stats["events_elided"] += stats["events_elided"]
+
+    t0 = perf_counter()
+    results = {}
+    if shards <= 1:
+        if rest:
+            cell_results, stats = run_cells(rest, duration)
+            results.update(cell_results)
+            absorb(stats)
+        if migrating is not None:
+            # Same process, but a genuinely fresh simulator for the
+            # resume — the cross-process variant is exercised below and
+            # in the differential suite.
+            ckpt = checkpoint_cell(migrating, migrate["at"])
+            resumed = resume_cell(migrating, ckpt, duration)
+            results[migrating["cell"]] = resumed["result"]
+            absorb(resumed["sim"])
+    else:
+        by_shard = {}
+        for spec in rest:
+            by_shard.setdefault(plan["assignment"][spec["cell"]],
+                                []).append(spec)
+        jobs = [(shard, specs) for shard, specs in sorted(by_shard.items())]
+        ctx = multiprocessing.get_context(mp_context or _DEFAULT_START)
+        with ctx.Pool(processes=max(1, len(jobs))) as pool:
+            async_ckpt = None
+            if migrating is not None:
+                async_ckpt = pool.apply_async(
+                    checkpoint_cell, (migrating, migrate["at"]))
+            # imap_unordered on purpose: the merge must not depend on
+            # completion order, and this keeps it honest.
+            for shard_out in pool.imap_unordered(
+                    run_shard,
+                    [(shard, specs, duration) for shard, specs in jobs]):
+                results.update(shard_out["results"])
+                absorb(shard_out["sim"])
+            ckpt = async_ckpt.get() if async_ckpt is not None else None
+        if migrating is not None:
+            # A dedicated one-worker pool: the resume provably happens in
+            # a process that never saw the first segment.
+            with ctx.Pool(processes=1) as fresh:
+                resumed = fresh.apply(resume_cell,
+                                      (migrating, ckpt, duration))
+            results[migrating["cell"]] = resumed["result"]
+            absorb(resumed["sim"])
+    wall = perf_counter() - t0
+    migrated = (None if migrating is None
+                else {"cell": migrating["cell"], "at": migrate["at"]})
+    return assemble_report(name, duration, results, plan, sim_stats, wall,
+                           migrated=migrated)

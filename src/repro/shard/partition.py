@@ -1,0 +1,204 @@
+"""Partition planning: carve a scenario into cells and pack them onto shards.
+
+The unit of distribution is the *cell*: an independent sub-simulation —
+one scheduler-plus-link stack (or one closed multi-hop component) with
+its own traffic sources, interacting with nothing outside itself.  The
+partitioning rules all produce cells:
+
+* **flow sets** — disjoint flow groups, each behind its own link
+  (BennettZ96's sessions never interact except through the shared server,
+  so a scenario declared as per-group servers is partition-closed by
+  construction);
+* **H-WF2Q+ subtrees** — each child of the hierarchy root served at its
+  ``guaranteed_rate`` slice of the link (:func:`subtree_slices`; exact
+  Fractions for integer shares);
+* **network components** — connected components of a multi-hop topology
+  under the "routes share a node" relation (:func:`connected_components`).
+
+Because cells are closed, running them all in one simulator (shards = 1)
+and running them in separate worker processes (shards = N) produce the
+same per-cell results — the property the differential suite pins down
+and :func:`repro.shard.merge.canonical_digest` certifies per run.
+
+:func:`assign_shards` packs cells onto shards with the deterministic LPT
+greedy (heaviest cell first onto the least-loaded shard); ties break by
+cell id and shard index, never by anything runtime-dependent, so the
+same scenario always yields the same plan.
+"""
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "cell_weight",
+    "assign_shards",
+    "connected_components",
+    "subtree_slices",
+    "validate_cells",
+]
+
+
+def cell_weight(spec):
+    """Estimated workload of a cell: expected packet emissions.
+
+    Computed from the source specs alone (mean rate x window / length),
+    so the planner never has to run anything.  Deterministic; used as the
+    LPT packing key.
+    """
+    total = 0.0
+    for src in spec.get("sources", ()):
+        window = (src.get("stop") or spec.get("duration") or 1.0) \
+            - src.get("start", 0.0)
+        if window <= 0:
+            continue
+        kind = src["type"]
+        if kind in ("cbr", "poisson"):
+            mean_rate = src["rate"]
+        elif kind == "onoff":
+            cycle = src["on"] + src["off"]
+            mean_rate = src["peak"] * src["on"] / cycle
+        elif kind == "markov":
+            mean_rate = (src["peak"] * src["mean_on"]
+                         / (src["mean_on"] + src["mean_off"]))
+        elif kind == "train":
+            mean_rate = src["train_length"] * src["length"] / src["interval"]
+        else:
+            raise ConfigurationError(f"unknown source type {kind!r}")
+        total += mean_rate * window / src["length"]
+    return total
+
+
+def validate_cells(cells):
+    """Reject plans that are not actually partitions.
+
+    Cell ids must be unique and the flow sets disjoint — overlapping
+    flows would mean two shards each simulate "the" flow and the merge
+    would double-count it silently.
+    """
+    seen_cells = set()
+    seen_flows = {}
+    for spec in cells:
+        cid = spec["cell"]
+        if cid in seen_cells:
+            raise ConfigurationError(f"duplicate cell id {cid!r}")
+        seen_cells.add(cid)
+        for fid in _cell_flow_ids(spec):
+            if fid in seen_flows:
+                raise ConfigurationError(
+                    f"flow {fid!r} appears in cells {seen_flows[fid]!r} "
+                    f"and {cid!r}; cells must have disjoint flow sets"
+                )
+            seen_flows[fid] = cid
+    return list(cells)
+
+
+def _cell_flow_ids(spec):
+    if spec["kind"] == "network":
+        return [route[0] for route in spec["routes"]]
+    sched = spec["scheduler"]
+    if sched["kind"] == "hpfq":
+        return _tree_leaves(sched["tree"])
+    return [fid for fid, _share in sched["flows"]]
+
+
+def _tree_leaves(tree):
+    _name, _share, children = tree
+    if not children:
+        return [_name]
+    out = []
+    for child in children:
+        out.extend(_tree_leaves(child))
+    return out
+
+
+def assign_shards(cells, shards):
+    """LPT-pack cells onto ``shards`` workers; returns the plan.
+
+    Heaviest cell first, onto the currently least-loaded shard; ties
+    break by cell id (for the ordering) and lowest shard index (for the
+    placement), so the plan is a pure function of the scenario.  The
+    result maps every cell id to its shard and reports per-shard loads::
+
+        {"shards": N, "assignment": {cell_id: shard}, "loads": [w0, ...]}
+    """
+    if shards < 1:
+        raise ConfigurationError(f"shards must be >= 1, got {shards!r}")
+    validate_cells(cells)
+    order = sorted(cells, key=lambda s: (-cell_weight(s), str(s["cell"])))
+    loads = [0.0] * shards
+    assignment = {}
+    for spec in order:
+        shard = min(range(shards), key=lambda i: (loads[i], i))
+        assignment[spec["cell"]] = shard
+        loads[shard] += cell_weight(spec)
+    return {"shards": shards, "assignment": assignment, "loads": loads}
+
+
+def connected_components(routes, nodes=None):
+    """Group a multi-hop topology into closed components.
+
+    ``routes`` is an iterable of ``(flow_id, path)`` pairs; two nodes are
+    connected when some route visits both.  Returns a list of
+    ``(node_names, flow_ids)`` pairs — each a partition-closed network
+    cell — with nodes and flows sorted, components ordered by their first
+    node.  ``nodes`` may list additional (possibly unrouted) node names;
+    unrouted nodes come back as their own empty components.
+    """
+    parent = {}
+
+    def find(x):
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:   # path compression
+            parent[x], x = root, parent[x]
+        return root
+
+    def union(a, b):
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            # Deterministic representative: the smaller name wins.
+            if str(rb) < str(ra):
+                ra, rb = rb, ra
+            parent[rb] = ra
+
+    for name in nodes or ():
+        parent.setdefault(name, name)
+    route_list = []
+    for flow_id, path in routes:
+        if not path:
+            raise ConfigurationError(f"flow {flow_id!r} has an empty path")
+        route_list.append((flow_id, list(path)))
+        for name in path:
+            parent.setdefault(name, name)
+        first = path[0]
+        for name in path[1:]:
+            union(first, name)
+    groups = {}
+    for name in parent:
+        groups.setdefault(find(name), set()).add(name)
+    flows_of = {root: [] for root in groups}
+    for flow_id, path in route_list:
+        flows_of[find(path[0])].append(flow_id)
+    out = []
+    for root in sorted(groups, key=str):
+        out.append((sorted(groups[root], key=str),
+                    sorted(flows_of[root], key=str)))
+    return out
+
+
+def subtree_slices(spec, link_rate):
+    """Split a hierarchy at the root: one slice per root child.
+
+    Each child subtree of a :class:`~repro.config.HierarchySpec` is an
+    independent H-WF2Q+ system once it is served at its guaranteed slice
+    of the link — the aggregation-boundary observation the paper's
+    hierarchy is built on.  Returns ``[(child NodeSpec, rate)]`` in child
+    order; with integer shares and an integer ``link_rate`` the slice is
+    an exact :class:`~fractions.Fraction` (phi products never round).
+    """
+    out = []
+    for child in spec.root.children:
+        # Fraction share x int rate stays a Fraction; anything else falls
+        # back to the operands' own arithmetic.
+        out.append((child, spec.normalized_share(child.name) * link_rate))
+    return out

@@ -68,6 +68,12 @@ class Source:
         self.link = None
         self.packets_sent = 0
         self.bits_sent = 0
+        #: Handle of the next scheduled emission event (None before start
+        #: or after the source ran dry); lets :meth:`snapshot` capture the
+        #: exact time of the pending emission without scanning the queue.
+        self._pending = None
+        self._timetable = ()
+        self._timetable_idx = 0
 
     def attach(self, sim, link):
         """Bind to a simulator and a link; call before :meth:`start`."""
@@ -82,9 +88,10 @@ class Source:
         if self.TIMETABLE_CHUNK > 0:
             self._timetable = ()
             self._timetable_idx = 0
-            self.sim.schedule(self.start_time, self._emit_timetable)
+            self._pending = self.sim.schedule(self.start_time,
+                                              self._emit_timetable)
         else:
-            self.sim.schedule(self.start_time, self._emit)
+            self._pending = self.sim.schedule(self.start_time, self._emit)
         return self
 
     # -- subclass API ----------------------------------------------------
@@ -96,7 +103,7 @@ class Source:
         self._send_packet(now)
         gap = self.next_gap()
         if gap is not None:
-            self.sim.schedule(now + gap, self._emit)
+            self._pending = self.sim.schedule(now + gap, self._emit)
 
     def _emit_timetable(self):
         """Emit one packet now; the next time comes from the chunk buffer."""
@@ -113,7 +120,7 @@ class Source:
             if not times:
                 return
         self._timetable_idx = i + 1
-        self.sim.schedule(times[i], self._emit_timetable)
+        self._pending = self.sim.schedule(times[i], self._emit_timetable)
 
     def _next_times(self, now, n):
         """Up to ``n`` upcoming absolute emission times after ``now``.
@@ -147,6 +154,73 @@ class Source:
     def next_gap(self):
         """Seconds until the next emission, or None to stop."""
         raise NotImplementedError
+
+    # -- checkpoint / migration ------------------------------------------
+    def snapshot(self):
+        """Plain-data checkpoint of the emission state (picklable).
+
+        Captures the counters, the remaining precomputed timetable, the
+        RNG state (sources that draw randomness), and the absolute time of
+        the pending emission event — everything a fresh process needs to
+        resume the arrival stream bit-identically.  Restore into a source
+        built from the *same* constructor arguments (the configuration is
+        not captured), attached to a simulator whose clock has not passed
+        the pending emission: :meth:`restore` re-schedules it there.
+        Used by :mod:`repro.shard` for checkpoint-based shard migration.
+        """
+        pending = self._pending
+        pending_time = None
+        if (pending is not None and not pending.cancelled
+                and pending.sim is self.sim
+                and pending.epoch == self.sim.epoch):
+            pending_time = pending.time
+        snap = {
+            "flow_id": self.flow_id,
+            "packets_sent": self.packets_sent,
+            "bits_sent": self.bits_sent,
+            "pending_time": pending_time,
+            "timetable": list(self._timetable),
+            "timetable_idx": self._timetable_idx,
+            "extra": self._snapshot_extra(),
+        }
+        rng = getattr(self, "_rng", None)
+        if rng is not None:
+            snap["rng"] = rng.getstate()
+        return snap
+
+    def restore(self, snap):
+        """Resume from a :meth:`snapshot`; re-schedules the pending emission.
+
+        Call after :meth:`attach` *instead of* :meth:`start`.
+        """
+        if snap["flow_id"] != self.flow_id:
+            raise ConfigurationError(
+                f"snapshot is for flow {snap['flow_id']!r}, cannot restore "
+                f"into source of flow {self.flow_id!r}"
+            )
+        if self.sim is None:
+            raise ConfigurationError("attach(sim, link) before restore()")
+        self.packets_sent = snap["packets_sent"]
+        self.bits_sent = snap["bits_sent"]
+        self._timetable = list(snap["timetable"])
+        self._timetable_idx = snap["timetable_idx"]
+        rng_state = snap.get("rng")
+        if rng_state is not None:
+            self._rng.setstate(rng_state)
+        self._restore_extra(snap["extra"])
+        pending_time = snap["pending_time"]
+        if pending_time is not None:
+            callback = (self._emit_timetable if self.TIMETABLE_CHUNK > 0
+                        else self._emit)
+            self._pending = self.sim.schedule(pending_time, callback)
+        return self
+
+    def _snapshot_extra(self):
+        """Hook: subclass emission state beyond the base fields."""
+        return None
+
+    def _restore_extra(self, extra):
+        """Hook: restore the state captured by :meth:`_snapshot_extra`."""
 
 
 class CBRSource(Source):
@@ -376,6 +450,12 @@ class PacketTrainSource(Source):
     def average_rate(self):
         return self.train_length * self.packet_length / self.train_interval
 
+    def _snapshot_extra(self):
+        return {"position": self._position}
+
+    def _restore_extra(self, extra):
+        self._position = extra["position"]
+
 
 class MarkovOnOffSource(Source):
     """Two-state Markov (exponential on/off) source — bursty cross-traffic.
@@ -416,6 +496,12 @@ class MarkovOnOffSource(Source):
         self._on_until = resume + self._rng.expovariate(1.0 / self.mean_on)
         return resume - now
 
+    def _snapshot_extra(self):
+        return {"on_until": self._on_until}
+
+    def _restore_extra(self, extra):
+        self._on_until = extra["on_until"]
+
 
 class TraceSource(Source):
     """Emits packets at explicit times (optionally with per-packet lengths).
@@ -447,6 +533,11 @@ class TraceSource(Source):
 
     def next_gap(self):  # pragma: no cover - _emit is overridden
         return None
+
+    def snapshot(self):
+        raise NotImplementedError(
+            "TraceSource does not support checkpointing (its emission loop "
+            "is clock-batched); replay the trace from the start instead")
 
 
 class ShapedSource(Source):
@@ -499,3 +590,9 @@ class ShapedSource(Source):
 
     def next_gap(self):  # pragma: no cover - emission is delegated
         return None
+
+    def snapshot(self):
+        raise NotImplementedError(
+            "ShapedSource does not support checkpointing (in-flight shaped "
+            "packets live in closure-scheduled events); checkpoint before "
+            "starting shaped traffic or leave its cell unmigrated")

@@ -195,6 +195,19 @@ class TestParallel:
         assert scenario_seed("hierarchy") != scenario_seed("zoo")
         assert 0 <= scenario_seed("hierarchy") < 2**32
 
+    def test_seed_mixes_the_request_index(self):
+        # Collision safety: even if two names shared a crc32, their seeds
+        # differ because the request position is mixed in.
+        assert scenario_seed("hierarchy", 0) != scenario_seed("hierarchy", 1)
+        assert scenario_seed("hierarchy", 3) == scenario_seed("hierarchy", 3)
+        for index in range(8):
+            assert 0 <= scenario_seed("zoo", index) < 2**32
+
+    def test_duplicate_scenario_names_are_rejected(self, two_fakes):
+        with pytest.raises(ValueError, match="duplicate"):
+            run_scenarios_parallel(names=["fake_a", "fake_b", "fake_a"],
+                                   jobs=2, mp_context="fork")
+
     def test_jobs_one_degrades_to_sequential(self, two_fakes):
         points = run_scenarios_parallel(names=["fake_b", "fake_a"], jobs=1)
         assert [p.scenario for p in points] == ["fake_b", "fake_a"]
