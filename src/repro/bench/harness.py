@@ -208,35 +208,49 @@ def load(path):
 # ----------------------------------------------------------------------
 # Comparison
 # ----------------------------------------------------------------------
-def compare(baseline, current, threshold=DEFAULT_THRESHOLD):
+def compare(baseline, current, threshold=DEFAULT_THRESHOLD,
+            scenario_thresholds=None):
     """Compare two payloads; return (rows, regressions).
 
     ``rows`` is a list of dicts (one per current point) with ``old``,
-    ``new``, ``ratio`` and ``status`` in {"ok", "regression", "new"};
-    ``regressions`` is the subset of rows whose cost grew by more than
-    ``threshold`` (fractional, e.g. 0.25 for +25 %).
+    ``new``, ``ratio`` and ``status`` in {"ok", "improved", "regression",
+    "new"}; ``regressions`` is the subset of rows whose cost grew by more
+    than the applicable threshold (fractional, e.g. 0.25 for +25 %).
+    ``improved`` marks the mirror image — cost *shrank* by more than the
+    threshold — so genuine wins are reported, not silently folded into
+    "ok" (and a stale baseline becomes visible).
+
+    ``scenario_thresholds`` optionally overrides the threshold per
+    scenario name (``{"sharded_pipeline": 0.6}``): whole-run wall-clock
+    scenarios are inherently noisier than the scheduler-only inner loops
+    and get looser gates without loosening everything else.
     """
+    overrides = scenario_thresholds or {}
     old_index = {point_key(p): p for p in baseline.get("scenarios", [])}
     rows = []
     for entry in current.get("scenarios", []):
         key = point_key(entry)
         old = old_index.pop(key, None)
+        limit = overrides.get(entry["scenario"], threshold)
         row = {
             "scenario": entry["scenario"],
             "scheduler": entry["scheduler"],
             "params": entry.get("params", {}),
             "new": float(entry["ns_per_packet"]),
+            "threshold": limit,
         }
         if old is None:
             row.update(old=None, ratio=None, status="new")
         else:
             old_cost = float(old["ns_per_packet"])
             ratio = row["new"] / old_cost if old_cost > 0 else float("inf")
-            row.update(
-                old=old_cost,
-                ratio=ratio,
-                status="regression" if ratio > 1 + threshold else "ok",
-            )
+            if ratio > 1 + limit:
+                status = "regression"
+            elif ratio < 1 / (1 + limit):
+                status = "improved"
+            else:
+                status = "ok"
+            row.update(old=old_cost, ratio=ratio, status=status)
         rows.append(row)
     for key, old in old_index.items():  # points the new run no longer has
         rows.append({
@@ -292,7 +306,12 @@ def format_compare(rows, threshold=DEFAULT_THRESHOLD):
             f"{_params_str(r['params']):22s} {old:>9s} {new:>9s} "
             f"{ratio:>7s}  {r['status']}")
     n_reg = sum(1 for r in rows if r["status"] == "regression")
+    n_imp = sum(1 for r in rows if r["status"] == "improved")
     lines.append("")
+    if n_imp:
+        lines.append(
+            f"note: {n_imp} point(s) improved by more than "
+            f"{threshold:.0%} — consider refreshing the baseline")
     if n_reg:
         lines.append(
             f"FAIL: {n_reg} point(s) regressed by more than "

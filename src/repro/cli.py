@@ -276,8 +276,20 @@ def _cmd_bench(args):
         except (OSError, ValueError, KeyError) as exc:
             print(f"repro bench: cannot load baseline: {exc}")
             return 2
+        overrides = {}
+        for spec in args.threshold_scenario or ():
+            name, sep, value = spec.partition("=")
+            try:
+                if not sep:
+                    raise ValueError
+                overrides[name] = float(value)
+            except ValueError:
+                print(f"repro bench: bad --threshold-scenario {spec!r} "
+                      "(expected NAME=FRACTION)")
+                return 2
         rows, regressions = compare(baseline, payload,
-                                    threshold=args.threshold)
+                                    threshold=args.threshold,
+                                    scenario_thresholds=overrides)
         if regressions:
             # Re-measure the regressed scenarios once before failing:
             # on shared runners a single sample of a cheap point can be
@@ -294,8 +306,9 @@ def _cmd_bench(args):
                     payload = save(points, args.output)
                 else:
                     payload = to_payload(points)
-                rows, regressions = compare(baseline, payload,
-                                            threshold=args.threshold)
+                rows, regressions = compare(
+                    baseline, payload, threshold=args.threshold,
+                    scenario_thresholds=overrides)
         print()
         print(f"comparison against {args.compare} "
               f"(rev {baseline.get('git_rev', '?')}):")
@@ -308,6 +321,7 @@ def _cmd_bench(args):
                 "baseline_rev": baseline.get("git_rev", "?"),
                 "current_rev": payload.get("git_rev", "?"),
                 "threshold": args.threshold,
+                "scenario_thresholds": overrides,
                 "ok": not regressions,
                 "regressions": len(regressions),
                 "rows": rows,
@@ -558,6 +572,10 @@ def build_parser():
     p_bench.add_argument("--threshold", type=float, default=0.25,
                          help="regression threshold as a fraction "
                               "(default 0.25 = +25%%)")
+    p_bench.add_argument("--threshold-scenario", action="append",
+                         metavar="NAME=FRAC", default=None,
+                         help="override the threshold for one scenario "
+                              "(repeatable), e.g. sharded_pipeline=0.6")
     p_bench.add_argument("--jobs", type=_positive_int, default=1,
                          metavar="N",
                          help="run scenarios across N worker processes "

@@ -10,6 +10,8 @@ One-level Packet Fair Queueing (PFQ) servers:
   exact GPS tags).
 * :class:`~repro.core.wf2qplus.WF2QPlusScheduler` — **the paper's
   contribution**: SEFF with the eq. (27) virtual time; O(log N).
+* :class:`~repro.core.batch.VectorWF2QPlus` — opt-in float64 columnar
+  WF2Q+ backend (numpy-accelerated batch tagging when available).
 * :class:`~repro.core.scfq.SCFQScheduler` — Self-Clocked Fair Queueing.
 * :class:`~repro.core.sfq.SFQScheduler` — Start-time Fair Queueing.
 * :class:`~repro.core.drr.DRRScheduler` — Deficit Round Robin.
@@ -30,6 +32,7 @@ from repro.core.gps import GPSFluidSystem
 from repro.core.wfq import WFQScheduler
 from repro.core.wf2q import WF2QScheduler
 from repro.core.wf2qplus import WF2QPlusScheduler
+from repro.core.batch import FlowColumns, VectorWF2QPlus
 from repro.core.scfq import SCFQScheduler
 from repro.core.sfq import SFQScheduler
 from repro.core.drr import DRRScheduler
@@ -58,6 +61,8 @@ __all__ = [
     "WFQScheduler",
     "WF2QScheduler",
     "WF2QPlusScheduler",
+    "FlowColumns",
+    "VectorWF2QPlus",
     "SCFQScheduler",
     "SFQScheduler",
     "DRRScheduler",

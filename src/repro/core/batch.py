@@ -1,0 +1,653 @@
+"""Columnar flow state and the vectorized float64 WF2Q+ backend.
+
+The exact schedulers keep tags on per-flow ``FlowState`` objects — perfect
+for ``Fraction`` arithmetic and checkpointing, but every tag update pays an
+attribute chase.  This module stores the hot per-flow quantities (start tag,
+finish tag, inverse guaranteed rate, queued bits) in parallel ``array('d')``
+columns keyed by the dense ``FlowState.index`` (the same dense-id flattening
+the PR 3 hierarchy uses for nodes), and builds
+:class:`VectorWF2QPlus` — a float64 WF2Q+ behind the unchanged
+:class:`~repro.core.scheduler.PacketScheduler` contract — on top of them.
+
+Numerics contract (pinned by ``tests/test_batch.py``):
+
+* For float workloads (float link rate, int/float packet lengths and
+  shares) the backend is **bit-equivalent** to
+  :class:`~repro.core.wf2qplus.WF2QPlusScheduler`: every tag is produced by
+  the same IEEE-754 expression sequence on the same operands, so service
+  order, tags and finish times match exactly.
+* For ``Fraction`` workloads it is **float-approximate**: inputs are
+  coerced to float64 at the column boundary, so tags carry rounding error
+  and service order may diverge where exact tags tie or differ by less
+  than an ulp.  Use the exact scheduler when the run must be
+  Fraction-faithful (checkpoint digests, the differential suites).
+
+The ``FlowState`` objects remain the source of truth for checkpoint and
+rebasing: :meth:`VectorWF2QPlus.flush_tags` writes the columns back before
+every snapshot, and restore re-syncs the columns from the restored states.
+
+numpy is optional.  When importable, bulk operations (reconfiguration
+inverse-rate recomputation, same-instant chunk tagging) run on zero-copy
+``np.frombuffer`` views of the columns once the chunk is large enough to
+amortize the call overhead; without numpy the same loops run on the plain
+``array`` objects.  Nothing is imported at module load that the container
+may lack.
+"""
+
+from array import array
+
+from repro.core.scheduler import (
+    BATCH_KERNEL_MIN,
+    PacketScheduler,
+    ScheduledPacket,
+    kernel_sized,
+)
+from repro.dstruct.heap import IndexedHeap
+
+try:
+    import numpy as _np
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - exercised on numpy-less hosts
+    _np = None
+    HAVE_NUMPY = False
+
+__all__ = ["FlowColumns", "VectorWF2QPlus", "HAVE_NUMPY", "NUMPY_MIN_CHUNK"]
+
+_INF = float("inf")
+
+#: Below this many elements the plain-Python loop beats the numpy call
+#: overhead (ufunc dispatch + view creation), measured on the bench host.
+NUMPY_MIN_CHUNK = 16
+
+
+class FlowColumns:
+    """Parallel float64 columns for per-flow scheduler state.
+
+    One slot per dense flow index.  ``start`` / ``finish`` are the virtual
+    tags, ``inv_rate`` the cached ``1 / r_i`` (NaN-free: slots are always
+    written before read), ``share`` the configured share (kept so the
+    reconfiguration sweep can recompute every inverse rate in one
+    vectorized expression), and ``bits`` the queued bits.  Removed flows
+    leave gaps; indices are monotone, so columns only ever grow.
+    """
+
+    __slots__ = ("start", "finish", "inv_rate", "share", "bits", "size")
+
+    def __init__(self):
+        self.start = array("d")
+        self.finish = array("d")
+        self.inv_rate = array("d")
+        self.share = array("d")
+        self.bits = array("d")
+        self.size = 0
+
+    def ensure(self, index):
+        """Grow every column to cover ``index`` (zero-filled)."""
+        need = index + 1 - self.size
+        if need > 0:
+            pad = array("d", bytes(8 * need))
+            for name in ("start", "finish", "inv_rate", "share", "bits"):
+                getattr(self, name).extend(pad)
+            self.size += need
+
+    def view(self, name):
+        """Zero-copy numpy view of one column (requires numpy)."""
+        return _np.frombuffer(getattr(self, name), dtype=_np.float64)
+
+    def sync_from_states(self, flows):
+        """Load tags/shares/bits from ``FlowState`` objects (restore path)."""
+        start, finish = self.start, self.finish
+        share, bits = self.share, self.bits
+        for state in flows.values():
+            i = state.index
+            self.ensure(i)
+            start[i] = state.start_tag
+            finish[i] = state.finish_tag
+            share[i] = state.config.share
+            bits[i] = state.bits_queued
+
+    def flush_to_states(self, flows):
+        """Write tags back onto ``FlowState`` objects (checkpoint path).
+
+        ``bits_queued`` is not written back: the base scheduler maintains
+        it on the state exactly; the column is the scheduler's shadow.
+        """
+        start, finish = self.start, self.finish
+        for state in flows.values():
+            i = state.index
+            state.start_tag = start[i]
+            state.finish_tag = finish[i]
+
+
+class VectorWF2QPlus(PacketScheduler):
+    """WF2Q+ on float64 columns: the opt-in vectorized backend.
+
+    Same eq. (27)-(29) algorithm, same heaps and tie-breaks as
+    :class:`~repro.core.wf2qplus.WF2QPlusScheduler`; tags live in
+    :class:`FlowColumns` instead of on the ``FlowState`` objects, and the
+    batch APIs tag same-instant chunks with numpy when available.  The
+    link rate is coerced to float at construction — this backend is
+    float64 by definition (see the module docstring for the exact
+    bit-equivalence contract).
+    """
+
+    name = "VectorWF2Q+"
+    seff = True
+
+    def __init__(self, rate):
+        super().__init__(float(rate))
+        self._virtual = 0.0
+        #: Real time at which self._virtual was last brought up to date.
+        self._virtual_stamp = 0.0
+        self._cols = FlowColumns()
+        self._eligible = IndexedHeap()    # backlogged flows, key (F, index)
+        self._ineligible = IndexedHeap()  # backlogged flows, key (S, index)
+        self._starts = IndexedHeap()      # all backlogged flows, key S
+        #: Column-cache generation (mirrors FlowState.rate_gen for slots).
+        self._col_gen = array("l")
+
+    # ------------------------------------------------------------------
+    # Column plumbing
+    # ------------------------------------------------------------------
+    def _on_flow_added(self, state):
+        cols = self._cols
+        cols.ensure(state.index)
+        cols.share[state.index] = float(state.config.share)
+        gens = self._col_gen
+        while len(gens) <= state.index:
+            gens.append(-1)
+        gens[state.index] = -1
+
+    def _inv(self, index):
+        """Cached float64 ``1 / r_i`` for column slot ``index``."""
+        gen = self._share_gen
+        gens = self._col_gen
+        if gens[index] != gen:
+            cols = self._cols
+            cols.inv_rate[index] = 1 / (
+                cols.share[index] / self._total_share * self._rate
+            )
+            gens[index] = gen
+        return self._cols.inv_rate[index]
+
+    def flush_tags(self):
+        """Write column tags back to the ``FlowState`` objects.
+
+        Called before every snapshot (and usable by analysis code that
+        reads ``FlowState.start_tag`` directly); the columns stay the
+        working store.
+        """
+        self._cols.flush_to_states(self._flows)
+
+    def virtual_time(self):
+        return self._virtual
+
+    def system_virtual_time(self, now=None):
+        return self._virtual
+
+    # ------------------------------------------------------------------
+    # Per-packet hooks (scalar column operations)
+    # ------------------------------------------------------------------
+    def _advance_virtual(self, now, floor=True):
+        v = self._virtual + (now - self._virtual_stamp)
+        if floor:
+            sent = self._starts.entries
+            if sent and sent[0][0] > v:
+                v = sent[0][0]
+        self._virtual = v
+        self._virtual_stamp = now
+
+    def _set_head_tags(self, state, was_flow_empty, now):
+        cols = self._cols
+        i = state.index
+        if state.tag_epoch != self._tag_epoch:
+            cols.start[i] = 0.0  # lazy busy-period reset
+            cols.finish[i] = 0.0
+            state.tag_epoch = self._tag_epoch
+        if was_flow_empty:
+            start = cols.finish[i]
+            if self._virtual > start:
+                start = self._virtual
+        else:
+            start = cols.finish[i]
+        cols.start[i] = start
+        finish = start + state.queue[0].length * self._inv(i)
+        cols.finish[i] = finish
+        flow_id = state.flow_id
+        self._starts.push_or_update(flow_id, start)
+        if start <= self._virtual:
+            self._ineligible.discard(flow_id)
+            self._eligible.push_or_update(flow_id, (finish, i))
+        else:
+            self._eligible.discard(flow_id)
+            self._ineligible.push_or_update(flow_id, (start, i))
+
+    def _on_enqueue(self, state, packet, now, was_flow_empty, was_idle):
+        if was_idle and now >= self._free_at:
+            self._virtual = 0.0
+            self._virtual_stamp = now
+            self._tag_epoch += 1
+        if was_flow_empty:
+            self._advance_virtual(now, floor=False)
+            self._set_head_tags(state, True, now)
+        self._cols.bits[state.index] = state.bits_queued
+
+    def _promote_eligible(self):
+        ineligible = self._ineligible
+        ient = ineligible.entries
+        if not ient:
+            return
+        eligible = self._eligible
+        flows = self._flows
+        finish = self._cols.finish
+        virtual = self._virtual
+        while ient and ient[0][0][0] <= virtual:
+            state = flows[ient[0][2]]
+            ineligible.move_top_to(
+                eligible, (finish[state.index], state.index)
+            )
+
+    def _select_flow(self, now):
+        self._advance_virtual(now)
+        self._promote_eligible()
+        return self._flows[self._eligible.entries[0][2]]
+
+    def _on_dequeued(self, state, packet, now):
+        cols = self._cols
+        i = state.index
+        flow_id = state.flow_id
+        cols.bits[i] = state.bits_queued
+        eligible = self._eligible
+        ent = eligible.entries
+        if ent and ent[0][2] == flow_id:
+            if state.queue:
+                start = cols.finish[i]  # eq. (28), Q != 0
+                cols.start[i] = start
+                finish = start + state.queue[0].length * self._inv(i)
+                cols.finish[i] = finish
+                self._starts.update(flow_id, start)
+                if start <= self._virtual:
+                    eligible.replace_top(flow_id, (finish, i))
+                else:
+                    eligible.move_top_to(self._ineligible, (start, i))
+            else:
+                eligible.pop()
+                self._starts.remove(flow_id)
+        else:  # pragma: no cover - subclass selection policies
+            eligible.discard(flow_id)
+            self._ineligible.discard(flow_id)
+            self._starts.discard(flow_id)
+            if state.queue:
+                self._set_head_tags(state, False, now)
+
+    def _make_record(self, state, packet, now, finish):
+        i = state.index
+        return ScheduledPacket(
+            packet, now, finish,
+            virtual_start=self._cols.start[i],
+            virtual_finish=self._cols.finish[i],
+        )
+
+    # ------------------------------------------------------------------
+    # Batch operations
+    # ------------------------------------------------------------------
+    def enqueue_batch(self, packets, now=None):
+        if (self._obs is not None or self._buffer_limits
+                or self._shared_limit is not None
+                or type(self)._on_enqueue is not VectorWF2QPlus._on_enqueue
+                or not kernel_sized(packets)):
+            return PacketScheduler.enqueue_batch(self, packets, now)
+        # Amortized loop: packets joining a non-empty queue inline to an
+        # append; newly backlogged flows are collected per arrival instant
+        # and tagged as a group — vectorized with numpy when the group is
+        # big enough.  Deferring the group's heap pushes to the group
+        # flush is service-order neutral: no selection can run inside an
+        # enqueue_batch, and at the next dequeue eq. (27) promotes by the
+        # then-current V, which is exactly the classification the flush
+        # applies.
+        flows = self._flows
+        cols = self._cols
+        col_bits = cols.bits
+        backlogged = self._backlogged
+        clock = self._clock
+        backlog = self._backlog_packets
+        backlog_bits = self._backlog_bits
+        arrivals = enqueues = 0
+        accepted = 0
+        enqueue = self.enqueue
+        pending = []  # newly backlogged (state, length) at pending_t
+        pending_t = None
+        for packet in packets:
+            t = packet.arrival_time if now is None else now
+            if t is None:
+                t = clock
+            state = flows.get(packet.flow_id)
+            length = packet.length
+            if (state is None or t < clock
+                    or (length <= 0 if type(length) is int
+                        else type(length) is not float
+                        or not 0.0 < length < _INF)):
+                if pending:
+                    self._flush_pending(pending, pending_t)
+                    pending = []
+                self._clock = clock
+                self._arrivals += arrivals
+                self._enqueues += enqueues
+                self._backlog_packets = backlog
+                self._backlog_bits = backlog_bits
+                arrivals = enqueues = 0
+                if enqueue(packet, t):
+                    accepted += 1
+                clock = self._clock
+                backlog = self._backlog_packets
+                backlog_bits = self._backlog_bits
+                continue
+            queue = state.queue
+            if not queue:
+                # Newly backlogged: bill the arrival now, tag with its
+                # same-instant group.  A system-idle boundary can only be
+                # the batch's first packet (afterwards backlog > 0), and
+                # group members never see it, so the V reset stays here.
+                if backlog == 0 and t >= self._free_at:
+                    # New busy period (when idle with t < _free_at the
+                    # last transmission still runs: _free_at = max(...,t)
+                    # is a no-op and tags persist).
+                    self._free_at = t
+                    self._virtual = 0.0
+                    self._virtual_stamp = t
+                    self._tag_epoch += 1
+                if t != pending_t and pending:
+                    self._flush_pending(pending, pending_t)
+                    pending = []
+                pending_t = t
+                pending.append((state, length))
+                backlogged[packet.flow_id] = True
+            if packet.arrival_time is None:
+                packet.arrival_time = t
+            clock = t
+            arrivals += 1
+            queue.append(packet)
+            state.bits_queued += length
+            col_bits[state.index] = state.bits_queued
+            backlog += 1
+            backlog_bits += length
+            enqueues += 1
+            accepted += 1
+        if pending:
+            self._flush_pending(pending, pending_t)
+        self._clock = clock
+        self._arrivals += arrivals
+        self._enqueues += enqueues
+        self._backlog_packets = backlog
+        self._backlog_bits = backlog_bits
+        self._count_batch(accepted)
+        return accepted
+
+    def _flush_pending(self, pending, t):
+        """Tag a group of newly backlogged flows that share arrival time ``t``.
+
+        Exactly ``_advance_virtual(t, floor=False)`` followed by
+        ``_set_head_tags(state, True, t)`` per flow: after the first
+        member advances V, the rest see tau = 0, so one advance covers the
+        group and ``S = max(F, V)`` / ``F = S + L / r`` vectorize over the
+        group's column slots.  The numpy path computes the same IEEE-754
+        expressions elementwise, so it is bit-identical to the scalar
+        loop.
+        """
+        self._advance_virtual(t, floor=False)
+        virtual = self._virtual
+        cols = self._cols
+        col_start, col_finish = cols.start, cols.finish
+        epoch = self._tag_epoch
+        starts_push = self._starts.push_or_update
+        eligible_push = self._eligible.push_or_update
+        ineligible_push = self._ineligible.push_or_update
+        if HAVE_NUMPY and len(pending) >= NUMPY_MIN_CHUNK:
+            idx = _np.fromiter(
+                (s.index for s, _ in pending), dtype=_np.intp,
+                count=len(pending))
+            lengths = _np.fromiter(
+                (float(ln) for _, ln in pending), dtype=_np.float64,
+                count=len(pending))
+            vf = cols.view("finish")
+            old_finish = vf[idx]
+            stale = _np.fromiter(
+                (s.tag_epoch != epoch for s, _ in pending), dtype=bool,
+                count=len(pending))
+            if stale.any():
+                old_finish = _np.where(stale, 0.0, old_finish)
+            start = _np.maximum(old_finish, virtual)
+            inv = _np.fromiter(
+                (self._inv(s.index) for s, _ in pending), dtype=_np.float64,
+                count=len(pending))
+            finish = start + lengths * inv
+            vs = cols.view("start")
+            vs[idx] = start
+            vf[idx] = finish
+            for k, (state, _) in enumerate(pending):
+                state.tag_epoch = epoch
+                flow_id = state.flow_id
+                i = state.index
+                # float() keeps heap keys plain Python floats (np.float64
+                # compares bit-identically but would leak into snapshots).
+                s = float(start[k])
+                starts_push(flow_id, s)
+                if s <= virtual:
+                    eligible_push(flow_id, (float(finish[k]), i))
+                else:
+                    ineligible_push(flow_id, (s, i))
+            return
+        for state, length in pending:
+            i = state.index
+            if state.tag_epoch != epoch:
+                col_finish[i] = 0.0
+                state.tag_epoch = epoch
+            start = col_finish[i]
+            if virtual > start:
+                start = virtual
+            col_start[i] = start
+            finish = start + length * self._inv(i)
+            col_finish[i] = finish
+            flow_id = state.flow_id
+            starts_push(flow_id, start)
+            if start <= virtual:
+                eligible_push(flow_id, (finish, i))
+            else:
+                ineligible_push(flow_id, (start, i))
+
+    def dequeue_batch(self, n, now=None):
+        if (type(self) is VectorWF2QPlus and self._obs is None
+                and n >= BATCH_KERNEL_MIN):
+            return self._dequeue_chunk(n, None, now, [])
+        return PacketScheduler.dequeue_batch(self, n, now)
+
+    def drain_until(self, limit, now=None, into=None):
+        if type(self) is VectorWF2QPlus and self._obs is None:
+            return self._dequeue_chunk(
+                None, limit, now, [] if into is None else into)
+        return PacketScheduler.drain_until(self, limit, now, into)
+
+    def _dequeue_chunk(self, n, limit, now, records):
+        """Columnar amortized dequeue; shared contract as
+        :meth:`repro.core.wf2qplus.WF2QPlusScheduler._dequeue_chunk`.
+        """
+        backlog = self._backlog_packets
+        if backlog == 0 or (n is not None and n <= 0):
+            self._count_batch(0)
+            return records
+        clock = self._clock
+        if now is None:
+            now = clock if clock > self._free_at else self._free_at
+        elif now < clock:
+            raise ValueError(
+                f"dequeue time {now!r} precedes scheduler clock {clock!r}"
+            )
+        if n is None:
+            n = backlog
+        flows = self._flows
+        backlogged = self._backlogged
+        rate = self._rate
+        total_share = self._total_share
+        gen = self._share_gen
+        gens = self._col_gen
+        cols = self._cols
+        col_start, col_finish = cols.start, cols.finish
+        col_inv, col_share, col_bits = cols.inv_rate, cols.share, cols.bits
+        eligible = self._eligible
+        ineligible = self._ineligible
+        starts = self._starts
+        eent = eligible.entries
+        ient = ineligible.entries
+        sent = starts.entries
+        replace_top = eligible.replace_top
+        demote = eligible.move_top_to
+        promote = ineligible.move_top_to
+        starts_update = starts.update
+        virtual = self._virtual
+        stamp = self._virtual_stamp
+        backlog_bits = self._backlog_bits
+        append = records.append
+        count = 0
+        try:
+            while count < n and backlog:
+                # eq. (27): V = max(V + tau, min S_i), floored at selection.
+                v = virtual + (now - stamp)
+                if sent and sent[0][0] > v:
+                    v = sent[0][0]
+                virtual = v
+                stamp = now
+                while ient and ient[0][0][0] <= v:
+                    st = flows[ient[0][2]]
+                    promote(eligible, (col_finish[st.index], st.index))
+                flow_id = eent[0][2]
+                state = flows[flow_id]
+                queue = state.queue
+                packet = queue.popleft()
+                length = packet.length
+                state.bits_queued -= length
+                i = state.index
+                col_bits[i] = state.bits_queued
+                backlog -= 1
+                backlog_bits -= length
+                finish = now + length / rate
+                append(ScheduledPacket(packet, now, finish,
+                                       col_start[i], col_finish[i]))
+                if queue:
+                    start = col_finish[i]  # eq. (28), Q != 0
+                    col_start[i] = start
+                    if gens[i] != gen:
+                        col_inv[i] = 1 / (
+                            col_share[i] / total_share * rate
+                        )
+                        gens[i] = gen
+                    fin = start + queue[0].length * col_inv[i]
+                    col_finish[i] = fin
+                    starts_update(flow_id, start)
+                    if start <= virtual:
+                        replace_top(flow_id, (fin, i))
+                    else:
+                        demote(ineligible, (start, i))
+                else:
+                    eligible.pop()
+                    starts.remove(flow_id)
+                    del backlogged[flow_id]
+                count += 1
+                clock = now
+                now = finish
+                if limit is not None and finish >= limit:
+                    break
+        finally:
+            self._clock = clock
+            self._free_at = now if count else self._free_at
+            self._virtual = virtual
+            self._virtual_stamp = stamp
+            self._backlog_packets = backlog
+            self._backlog_bits = backlog_bits
+            self._dequeues += count
+            self._count_batch(count)
+        return records
+
+    # ------------------------------------------------------------------
+    # Robustness hooks (reconfiguration / eviction / checkpoint)
+    # ------------------------------------------------------------------
+    def _on_reconfigured(self):
+        # Rebase every backlogged head's finish tag F = S + L / r_i' and
+        # re-key the finish-ordered eligible heap; start tags persist.
+        # With numpy and enough registered flows the inverse-rate column
+        # refreshes in one vectorized expression (same op order as the
+        # scalar path: 1 / (share / total * rate), so bit-identical).
+        gen = self._share_gen
+        gens = self._col_gen
+        cols = self._cols
+        flows = self._flows
+        if HAVE_NUMPY and len(flows) >= NUMPY_MIN_CHUNK:
+            idx = _np.fromiter(
+                (s.index for s in flows.values()), dtype=_np.intp,
+                count=len(flows))
+            vshare = cols.view("share")
+            vinv = cols.view("inv_rate")
+            vinv[idx] = 1.0 / (
+                vshare[idx] / self._total_share * self._rate
+            )
+            for state in flows.values():
+                gens[state.index] = gen
+        eligible = self._eligible
+        col_start, col_finish = cols.start, cols.finish
+        for state in flows.values():
+            if not state.queue:
+                continue
+            i = state.index
+            finish = col_start[i] + state.queue[0].length * self._inv(i)
+            col_finish[i] = finish
+            if state.flow_id in eligible.pos:
+                eligible.update(state.flow_id, (finish, i))
+
+    def set_share(self, flow_id, share):
+        state = self._flows.get(flow_id)
+        if state is not None:
+            self._cols.share[state.index] = float(share)
+        PacketScheduler.set_share(self, flow_id, share)
+
+    def _on_packet_evicted(self, state, packet, index, now):
+        cols = self._cols
+        i = state.index
+        cols.bits[i] = state.bits_queued
+        if index != 0:
+            return  # only the head packet carries tags
+        flow_id = state.flow_id
+        if state.queue:
+            finish = cols.start[i] + state.queue[0].length * self._inv(i)
+            cols.finish[i] = finish
+            if flow_id in self._eligible.pos:
+                self._eligible.update(flow_id, (finish, i))
+        else:
+            cols.finish[i] = cols.start[i]
+            self._eligible.discard(flow_id)
+            self._ineligible.discard(flow_id)
+            self._starts.discard(flow_id)
+
+    def snapshot(self):
+        # FlowState objects are the checkpoint truth: push the working
+        # columns back before the base snapshot reads the per-flow tags.
+        self.flush_tags()
+        return PacketScheduler.snapshot(self)
+
+    def _snapshot_extra(self):
+        return {
+            "virtual": self._virtual,
+            "virtual_stamp": self._virtual_stamp,
+            "eligible": self._eligible.snapshot(),
+            "ineligible": self._ineligible.snapshot(),
+            "starts": self._starts.snapshot(),
+        }
+
+    def _restore_extra(self, extra, uid_map):
+        self._virtual = extra["virtual"]
+        self._virtual_stamp = extra["virtual_stamp"]
+        self._eligible.restore(extra["eligible"])
+        self._ineligible.restore(extra["ineligible"])
+        self._starts.restore(extra["starts"])
+        self._cols.sync_from_states(self._flows)
+        gens = self._col_gen
+        for k in range(len(gens)):
+            gens[k] = -1  # force inverse-rate recomputation

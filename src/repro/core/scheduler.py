@@ -22,6 +22,18 @@ omit ``now``:
 
 Subclasses implement four hooks (``_on_enqueue``, ``_select_flow``,
 ``_on_dequeued``, ``_on_system_empty``) and never touch the queues directly.
+
+Batch operations
+----------------
+:meth:`PacketScheduler.enqueue_batch`, :meth:`PacketScheduler.dequeue_batch`
+and :meth:`PacketScheduler.drain_until` process a *chunk* of packets per
+call.  The base implementations loop over the per-packet operations, so
+every scheduler inherits correct batch semantics; the hot schedulers (FIFO,
+WF2Q+, SFQ/SCFQ, flattened H-WF2Q+) override them with amortized kernels
+that hoist attribute lookups and skip per-packet hook dispatch while
+producing packet-for-packet identical results (``tests/test_batch.py``).
+Batch calls feed the ``batch_stats()`` counters either way, so the batched
+fraction of a run is observable.
 """
 
 import numbers
@@ -38,7 +50,8 @@ from repro.errors import (
 from repro.obs.events import DequeueEvent, DropEvent, EnqueueEvent, EventBus
 
 __all__ = ["PacketScheduler", "ScheduledPacket", "FlowState",
-           "DROP_TAIL", "DROP_FRONT", "DROP_LONGEST"]
+           "DROP_TAIL", "DROP_FRONT", "DROP_LONGEST", "BATCH_BUCKETS",
+           "BATCH_KERNEL_MIN"]
 
 _INF = float("inf")
 
@@ -50,6 +63,33 @@ _INF = float("inf")
 DROP_TAIL = "tail"
 DROP_FRONT = "front"
 DROP_LONGEST = "longest"
+
+#: Bucket labels of the packets-per-batch histogram (``batch_stats()``).
+BATCH_BUCKETS = ("1", "2-7", "8-63", "64-511", "512+")
+
+
+def _bucket(n):
+    """Index into :data:`BATCH_BUCKETS` for a batch of ``n`` packets."""
+    if n >= 64:
+        return 4 if n >= 512 else 3
+    if n >= 8:
+        return 2
+    return 1 if n >= 2 else 0
+
+#: Chunks smaller than this bypass the amortized kernels and take the
+#: per-packet loop: the kernels pay a fixed hoist/write-back setup cost
+#: that only amortizes across the chunk, so below this size the plain
+#: loop is faster (and results are identical either way).
+BATCH_KERNEL_MIN = 8
+
+
+def kernel_sized(chunk):
+    """True when ``chunk`` is big enough for the amortized enqueue
+    kernels; unsized iterables get the benefit of the doubt."""
+    try:
+        return len(chunk) >= BATCH_KERNEL_MIN
+    except TypeError:
+        return True
 
 
 class ScheduledPacket:
@@ -187,6 +227,15 @@ class PacketScheduler:
         self._free_at = 0
         self._dequeues = 0
         self._enqueues = 0
+        #: Insertion-ordered index of flows with a non-empty queue (dict
+        #: used as an ordered set), maintained on every queue transition so
+        #: ``backlogged_flows()`` is O(backlogged), not O(registered).
+        self._backlogged = {}
+        #: Batch-path counters: calls, packets moved through batch APIs,
+        #: and a packets-per-batch histogram (see :data:`BATCH_BUCKETS`).
+        self._batch_calls = 0
+        self._batch_packets = 0
+        self._batch_hist = [0, 0, 0, 0, 0]
 
     @property
     def rate(self):
@@ -245,6 +294,7 @@ class PacketScheduler:
         self._buffer_limits.pop(flow_id, None)
         self._drop_policies.pop(flow_id, None)
         self._drops_total -= self._drops.pop(flow_id, 0)
+        self._backlogged.pop(flow_id, None)
 
     # ------------------------------------------------------------------
     # Live reconfiguration
@@ -337,8 +387,14 @@ class PacketScheduler:
         return self._flow(flow_id).bits_queued
 
     def backlogged_flows(self):
-        """Flow ids with at least one queued packet."""
-        return [fid for fid, st in self._flows.items() if st.queue]
+        """Flow ids with at least one queued packet.
+
+        O(backlogged): served from an index maintained on queue
+        transitions, in became-backlogged order (registration order after
+        a :meth:`restore`), so chaos probes and the batch path do not pay
+        a scan over every registered flow per call.
+        """
+        return list(self._backlogged)
 
     def _require_shares(self, flow_id):
         """The flow's state, or ConfigurationError when no share exists."""
@@ -426,6 +482,14 @@ class PacketScheduler:
     # ------------------------------------------------------------------
     # Main operations
     # ------------------------------------------------------------------
+    @property
+    def lossless(self):
+        """True while no buffer cap is configured: every enqueue is
+        accepted, so callers batching arrivals (the link's
+        :meth:`~repro.sim.link.Link.send_batch`) need no per-packet
+        accept/reject bookkeeping."""
+        return not self._buffer_limits and self._shared_limit is None
+
     def set_buffer_limit(self, flow_id, packets, policy=DROP_TAIL):
         """Cap a flow's queue at ``packets``; ``None`` removes the cap.
 
@@ -551,6 +615,8 @@ class PacketScheduler:
         state.bits_queued -= victim.length
         self._backlog_packets -= 1
         self._backlog_bits -= victim.length
+        if not queue:
+            del self._backlogged[victim.flow_id]
         self._on_packet_evicted(state, victim, index, now)
         self._record_drop(victim, now, policy, True)
         return victim
@@ -675,6 +741,8 @@ class PacketScheduler:
         self._backlog_packets += 1
         self._backlog_bits += length
         self._enqueues += 1
+        if was_flow_empty:
+            self._backlogged[flow_id] = True
         if was_idle:
             # A new system busy period begins now (at the earliest).
             self._free_at = max(self._free_at, now)
@@ -708,6 +776,8 @@ class PacketScheduler:
         self._backlog_packets -= 1
         self._backlog_bits -= length
         self._dequeues += 1
+        if not state.queue:
+            del self._backlogged[packet.flow_id]
         finish = now + length / self._rate
         self._free_at = finish
         record = self._make_record(state, packet, now, finish)
@@ -748,6 +818,181 @@ class PacketScheduler:
         while not self.is_empty:
             records.append(self.dequeue())
         return records
+
+    # ------------------------------------------------------------------
+    # Batch operations
+    # ------------------------------------------------------------------
+    def _count_batch(self, n):
+        """Record one batch-API call of ``n`` packets in the counters."""
+        self._batch_calls += 1
+        self._batch_packets += n
+        self._batch_hist[_bucket(n)] += 1
+
+    def batch_stats(self):
+        """Counters proving (not inferring) batch-path amortization.
+
+        ``batched_fraction`` is the share of all enqueues+dequeues that
+        went through a batch API; ``packets_per_batch`` is a histogram
+        over :data:`BATCH_BUCKETS`.  Surfaced by ``repro stats
+        --pipeline`` and :class:`~repro.obs.profile.SchedulerProfiler`.
+        """
+        ops = self._enqueues + self._dequeues
+        return {
+            "batch_calls": self._batch_calls,
+            "batch_packets": self._batch_packets,
+            "batched_fraction": self._batch_packets / ops if ops else 0.0,
+            "packets_per_batch": dict(zip(BATCH_BUCKETS, self._batch_hist)),
+        }
+
+    def enqueue_batch(self, packets, now=None):
+        """Enqueue a chunk of packets in order; returns the number accepted.
+
+        Semantically identical to calling :meth:`enqueue` per packet:
+        arrival times must be non-decreasing, every buffer policy applies,
+        and (with an observer attached) the same per-packet events fire.
+        When ``now`` is given it is used for *every* packet (a same-instant
+        burst); otherwise each packet's ``arrival_time`` drives the clock
+        as usual.  Subclasses with amortized chunk kernels override this;
+        the base implementation loops.
+        """
+        enqueue = self.enqueue
+        accepted = 0
+        for packet in packets:
+            if enqueue(packet, now):
+                accepted += 1
+        # _count_batch inlined: this loop is also the chunk-of-1 path the
+        # Link takes per packet, so its fixed cost stays minimal.
+        self._batch_calls += 1
+        self._batch_packets += accepted
+        self._batch_hist[_bucket(accepted)] += 1
+        return accepted
+
+    def dequeue_batch(self, n, now=None):
+        """Dequeue up to ``n`` packets back-to-back; returns their records.
+
+        The first dequeue happens at ``now`` (default: the natural next
+        transmission time), each subsequent one at the previous packet's
+        finish time — exactly the semantics of ``n`` consecutive
+        :meth:`dequeue` calls.  Stops early when the scheduler empties;
+        unlike :meth:`dequeue` an empty scheduler yields ``[]`` rather
+        than raising.
+        """
+        records = []
+        if n > 0 and self._backlog_packets:
+            if n == 1:
+                records.append(self.dequeue(now))
+            else:
+                append = records.append
+                dequeue = self.dequeue
+                append(dequeue(now))
+                n -= 1
+                while n > 0 and self._backlog_packets:
+                    append(dequeue())
+                    n -= 1
+        self._batch_calls += 1
+        m = len(records)
+        self._batch_packets += m
+        self._batch_hist[_bucket(m)] += 1
+        return records
+
+    def drain_until(self, limit, now=None, into=None):
+        """Dequeue back-to-back until ``limit``; the crossing packet is kept.
+
+        Emulates a continuously busy link exactly like :meth:`dequeue_batch`
+        but bounded by *time* instead of count: packets are dequeued until
+        the scheduler empties or a packet's finish time reaches or passes
+        ``limit``.  That crossing packet is the last record returned — its
+        transmission straddles ``limit``, which is precisely what a caller
+        re-entering real-time event processing needs (the Link burst drain
+        schedules its completion as a real event).  ``limit=None`` drains
+        everything.  ``into`` optionally names the output list (appended
+        in service order even if a dequeue raises mid-chunk, so callers
+        can account for partially drained work).
+        """
+        records = [] if into is None else into
+        if self._backlog_packets:
+            append = records.append
+            dequeue = self.dequeue
+            count = 1
+            record = dequeue(now)
+            append(record)
+            if limit is None:
+                while self._backlog_packets:
+                    append(dequeue())
+                    count += 1
+            else:
+                while record.finish_time < limit and self._backlog_packets:
+                    record = dequeue()
+                    append(record)
+                    count += 1
+            self._count_batch(count)
+        else:
+            self._count_batch(0)
+        return records
+
+    def _enqueue_batch_passive(self, packets, now=None):
+        """Amortized enqueue loop for schedulers whose ``_on_enqueue`` does
+        nothing unless the flow queue was empty.
+
+        The contract: the caller (a WF2Q+/SFQ/SCFQ-style override) has
+        verified there is no observer, no buffer caps, and that the
+        subclass's ``_on_enqueue`` is a no-op for a packet joining a
+        non-empty queue.  Under it, the only per-packet work left is
+        validation, the queue append and counter bookkeeping — all done on
+        hoisted locals here.  Any packet that needs the full machinery
+        (empty flow queue, idle system, exotic length/arrival time,
+        unknown flow) flushes the hoisted counters and takes the exact
+        per-packet :meth:`enqueue`, so edge semantics are inherited, not
+        re-implemented.
+        """
+        flows = self._flows
+        clock = self._clock
+        backlog = self._backlog_packets
+        backlog_bits = self._backlog_bits
+        arrivals = enqueues = 0
+        accepted = 0
+        enqueue = self.enqueue
+        for packet in packets:
+            t = packet.arrival_time if now is None else now
+            if t is None:
+                t = clock
+            state = flows.get(packet.flow_id)
+            length = packet.length
+            if (state is None or not state.queue or t < clock
+                    or (length <= 0 if type(length) is int
+                        else type(length) is not float
+                        or not 0.0 < length < _INF)):
+                # Flush the hoisted counters so the per-packet path (and
+                # its error paths) sees and leaves consistent state.
+                self._clock = clock
+                self._arrivals += arrivals
+                self._enqueues += enqueues
+                self._backlog_packets = backlog
+                self._backlog_bits = backlog_bits
+                arrivals = enqueues = 0
+                if enqueue(packet, t):
+                    accepted += 1
+                clock = self._clock
+                backlog = self._backlog_packets
+                backlog_bits = self._backlog_bits
+                continue
+            if packet.arrival_time is None:
+                packet.arrival_time = t
+            clock = t
+            arrivals += 1
+            state.queue.append(packet)
+            state.bits_queued += length
+            backlog += 1
+            backlog_bits += length
+            enqueues += 1
+            accepted += 1
+        self._clock = clock
+        self._arrivals += arrivals
+        self._enqueues += enqueues
+        self._backlog_packets = backlog
+        self._backlog_bits = backlog_bits
+        self._count_batch(accepted)
+        return accepted
 
     # ------------------------------------------------------------------
     # Checkpoint / restore
@@ -795,6 +1040,9 @@ class PacketScheduler:
             "drop_policies": dict(self._drop_policies),
             "shared_limit": self._shared_limit,
             "shared_policy": self._shared_policy,
+            "batch_calls": self._batch_calls,
+            "batch_packets": self._batch_packets,
+            "batch_hist": list(self._batch_hist),
             "flows": flows,
             "extra": self._snapshot_extra(),
         }
@@ -863,6 +1111,14 @@ class PacketScheduler:
         self._drop_policies = dict(snap["drop_policies"])
         self._shared_limit = snap["shared_limit"]
         self._shared_policy = snap["shared_policy"]
+        self._batch_calls = snap.get("batch_calls", 0)
+        self._batch_packets = snap.get("batch_packets", 0)
+        self._batch_hist = list(snap.get("batch_hist", (0, 0, 0, 0, 0)))
+        # Rebuild the backlogged index from the restored queues
+        # (registration order — deterministic for any restored run).
+        self._backlogged = {
+            fid: True for fid, state in self._flows.items() if state.queue
+        }
         self._restore_extra(snap["extra"], uid_map)
         return uid_map
 

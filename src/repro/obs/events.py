@@ -285,6 +285,15 @@ class EventBus:
     def __init__(self, *sinks):
         self.sinks = list(sinks)
 
+    @property
+    def passive(self):
+        """True when every subscribed sink is passive (see
+        :class:`~repro.obs.sinks.Sink`): the whole bus then only records,
+        so event emission cannot feed back into the simulation and the
+        link's batch drain stays legal.  Evaluated per drain, not per
+        event."""
+        return all(getattr(sink, "passive", False) for sink in self.sinks)
+
     def subscribe(self, sink):
         if sink not in self.sinks:
             self.sinks.append(sink)

@@ -82,6 +82,10 @@ class InvariantChecker(Sink):
         Individually disable checks (all on by default).
     """
 
+    #: The checker only reads events and raises; it never reaches into
+    #: the simulator, so the link's batch drain may run under it.
+    passive = True
+
     VIRTUAL_MONOTONIC = "virtual-time-monotonic"
     SEFF = "seff-eligibility"
     BACKLOG = "backlog-conservation"

@@ -62,6 +62,9 @@ class SchedulerProfiler:
         self.scheduler = scheduler
         self.enqueue_samples = []
         self.dequeue_samples = []
+        #: One ``(seconds, packets)`` pair per batch-API call
+        #: (enqueue_batch / dequeue_batch / drain_until).
+        self.batch_samples = []
         self._attached = False
         self._clock = clock
         self.attach()
@@ -73,8 +76,12 @@ class SchedulerProfiler:
         clock = self._clock
         orig_enqueue = sched.enqueue
         orig_dequeue = sched.dequeue
+        orig_enqueue_batch = sched.enqueue_batch
+        orig_dequeue_batch = sched.dequeue_batch
+        orig_drain_until = sched.drain_until
         enq_samples = self.enqueue_samples
         deq_samples = self.dequeue_samples
+        batch_samples = self.batch_samples
 
         def enqueue(packet, now=None):
             t0 = clock()
@@ -90,8 +97,34 @@ class SchedulerProfiler:
             finally:
                 deq_samples.append(clock() - t0)
 
+        # The batch wrappers record whole-chunk wall time plus the chunk
+        # size; note a batch API that falls back to the per-packet loop
+        # also feeds the per-packet wrappers above, so batch and
+        # per-packet samples overlap rather than add.
+        def enqueue_batch(packets, now=None):
+            t0 = clock()
+            accepted = orig_enqueue_batch(packets, now)
+            batch_samples.append((clock() - t0, accepted))
+            return accepted
+
+        def dequeue_batch(n, now=None):
+            t0 = clock()
+            records = orig_dequeue_batch(n, now)
+            batch_samples.append((clock() - t0, len(records)))
+            return records
+
+        def drain_until(limit, now=None, into=None):
+            before = 0 if into is None else len(into)
+            t0 = clock()
+            records = orig_drain_until(limit, now, into)
+            batch_samples.append((clock() - t0, len(records) - before))
+            return records
+
         sched.enqueue = enqueue
         sched.dequeue = dequeue
+        sched.enqueue_batch = enqueue_batch
+        sched.dequeue_batch = dequeue_batch
+        sched.drain_until = drain_until
         self._attached = True
         return self
 
@@ -103,6 +136,9 @@ class SchedulerProfiler:
         # deleting them reinstates the original (class-level) fast path.
         del self.scheduler.enqueue
         del self.scheduler.dequeue
+        del self.scheduler.enqueue_batch
+        del self.scheduler.dequeue_batch
+        del self.scheduler.drain_until
         self._attached = False
 
     @property
@@ -113,13 +149,26 @@ class SchedulerProfiler:
         """Discard collected samples (keeps the wrappers attached)."""
         self.enqueue_samples.clear()
         self.dequeue_samples.clear()
+        self.batch_samples.clear()
 
     def summary(self):
-        """``{"enqueue": OpStats, "dequeue": OpStats}`` of the samples."""
-        return {
+        """``{"enqueue": OpStats, "dequeue": OpStats, "batch": OpStats}``.
+
+        ``batch`` covers whole-chunk calls (one sample per batch-API
+        call, however many packets it moved).
+        """
+        out = {
             "enqueue": OpStats(self.enqueue_samples),
             "dequeue": OpStats(self.dequeue_samples),
         }
+        if self.batch_samples:
+            out["batch"] = OpStats([s for s, _n in self.batch_samples])
+        return out
+
+    def batch_stats(self):
+        """The profiled scheduler's own batch counters (see
+        :meth:`~repro.core.scheduler.PacketScheduler.batch_stats`)."""
+        return self.scheduler.batch_stats()
 
     def format_report(self):
         """Percentile table in microseconds (``python -m repro stats``)."""
@@ -132,6 +181,15 @@ class SchedulerProfiler:
                 f"{1e6 * stats.p90:9.3f} {1e6 * stats.p99:9.3f} "
                 f"{1e6 * stats.max:9.3f}"
             )
+        batch = self.scheduler.batch_stats()
+        if batch["batch_calls"]:
+            hist = " ".join(f"{bucket}:{count}" for bucket, count
+                            in batch["packets_per_batch"].items() if count)
+            lines.append(
+                f"batches: {batch['batch_calls']} calls, "
+                f"{batch['batch_packets']} packets "
+                f"({100 * batch['batched_fraction']:.1f}% of ops batched; "
+                f"sizes {hist})")
         return "\n".join(lines)
 
     def __enter__(self):

@@ -30,7 +30,20 @@ __all__ = [
 
 
 class Sink:
-    """Interface for event consumers."""
+    """Interface for event consumers.
+
+    ``passive`` declares that ``accept`` only reads the event and mutates
+    the sink's own state — it never reaches back into the simulator or
+    the scheduler (no scheduling, no clock reads, no enqueue/dequeue).
+    The link's batch drain relies on this: a chunk of dequeues runs to
+    completion before the simulation clock is advanced over it, which is
+    unobservable to passive sinks but not to arbitrary callbacks.  The
+    base class conservatively says False; a subclass may only set True
+    when its ``accept`` honours the contract (raising — as the invariant
+    checker does — is fine; it aborts the drain like any dequeue error).
+    """
+
+    passive = False
 
     def accept(self, event):
         raise NotImplementedError
@@ -58,6 +71,8 @@ class CallbackSink(Sink):
 
 class RingBufferSink(Sink):
     """Keep the most recent ``capacity`` events, oldest evicted first."""
+
+    passive = True
 
     def __init__(self, capacity=65536):
         if capacity < 1:
@@ -107,6 +122,8 @@ class JSONLSink(Sink):
     Accepts a path (file opened and owned by the sink) or any writable
     text-file object (left open on ``close``).
     """
+
+    passive = True
 
     def __init__(self, path_or_file):
         if hasattr(path_or_file, "write"):
@@ -186,6 +203,8 @@ class MetricsSink(Sink):
     upper bound — a conservative estimate whose resolution is set by
     ``buckets``.
     """
+
+    passive = True
 
     def __init__(self, buckets=DEFAULT_DELAY_BUCKETS):
         self.buckets = tuple(buckets)

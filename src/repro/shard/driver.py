@@ -86,11 +86,14 @@ def run_sharded(scenario="cbr_flat", shards=1, duration=None, migrate=None,
         raise ConfigurationError(
             f"migration time {migrate['at']!r} must fall inside "
             f"(0, {duration!r})")
-    sim_stats = {"events_processed": 0, "events_elided": 0}
+    sim_stats = {"events_processed": 0, "events_elided": 0,
+                 "batch_calls": 0, "batch_packets": 0}
 
     def absorb(stats):
         sim_stats["events_processed"] += stats["events_processed"]
         sim_stats["events_elided"] += stats["events_elided"]
+        sim_stats["batch_calls"] += stats.get("batch_calls", 0)
+        sim_stats["batch_packets"] += stats.get("batch_packets", 0)
 
     t0 = perf_counter()
     results = {}

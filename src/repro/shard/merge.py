@@ -9,10 +9,11 @@ there:
   values like packet uids;
 * the digest covers only execution-invariant fields.  Excluded — and why:
 
-  - ``events_processed`` / ``events_elided``: how far the burst-drain
-    fast path reaches depends on what else shares the event heap, which
-    changes with the cell grouping (shards=1 hosts every cell in one
-    simulator);
+  - ``events_processed`` / ``events_elided`` / ``batch_calls`` /
+    ``batch_packets``: how far the burst-drain fast path reaches (and
+    how large its scheduler batches get) depends on what else shares the
+    event heap, which changes with the cell grouping (shards=1 hosts
+    every cell in one simulator);
   - ``busy_time``: accumulated in drain-sized float batches, so its
     addition *association* (not its operands) varies with grouping;
   - ``delay_sum`` / ``delay_mean``: a migrated cell adds two segment
@@ -175,6 +176,12 @@ def format_report(report):
     share = (100.0 * elided / total_ev) if total_ev else 0.0
     lines.append(f"  events: {processed} processed, {elided} elided "
                  f"({share:.1f}% inline)")
+    calls = sim.get("batch_calls", 0)
+    if calls:
+        batched = sim.get("batch_packets", 0)
+        per = batched / calls
+        lines.append(f"  batches: {calls} calls, {batched} packets "
+                     f"({per:.1f} packets/batch)")
     lines.append(
         f"  wall: {report['wall_seconds']:.3f}s "
         f"({report['packets_per_second']:,.0f} packets/s)")

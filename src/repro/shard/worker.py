@@ -273,6 +273,23 @@ def collect(cell):
     return result
 
 
+def _batch_totals(cells):
+    """Sum the schedulers' batch counters across a group of cells.
+
+    Like ``events_elided``, these are *process-local* observability
+    counters — how much work went through the batch APIs depends on what
+    shares the event heap — so they ride in the sim stats (merged by
+    summing, excluded from the digest), not in the cell results.
+    """
+    calls = packets = 0
+    for cell in cells:
+        for link in cell.links.values():
+            stats = link.scheduler.batch_stats()
+            calls += stats["batch_calls"]
+            packets += stats["batch_packets"]
+    return {"batch_calls": calls, "batch_packets": packets}
+
+
 def run_cells(specs, duration):
     """Run a group of cells in ONE simulator; returns (results, sim stats).
 
@@ -288,6 +305,7 @@ def run_cells(specs, duration):
     results = {cell.spec["cell"]: collect(cell) for cell in cells}
     stats = {"events_processed": sim.events_processed,
              "events_elided": sim.events_elided}
+    stats.update(_batch_totals(cells))
     return results, stats
 
 
@@ -320,14 +338,16 @@ def checkpoint_cell(spec, at):
     sim = Simulator()
     cell = build_cell(sim, spec)
     sim.run(until=at)
+    sim_stats = {"events_processed": sim.events_processed,
+                 "events_elided": sim.events_elided}
+    sim_stats.update(_batch_totals([cell]))
     return {
         "cell": spec["cell"],
         "clock": at,
         "link": cell.links["link"].snapshot(),
         "sources": [src.snapshot() for src in cell.sources],
         "partial": collect(cell),
-        "sim": {"events_processed": sim.events_processed,
-                "events_elided": sim.events_elided},
+        "sim": sim_stats,
     }
 
 
@@ -365,6 +385,10 @@ def resume_cell(spec, ckpt, duration):
         "events_elided": (ckpt["sim"]["events_elided"]
                           + sim.events_elided),
     }
+    # Scheduler counters are cumulative across the restore (the snapshot
+    # carries them), so segment 2's batch totals are already the whole
+    # run's — adding the checkpoint's would double-count segment 1.
+    stats.update(_batch_totals([cell]))
     return {"result": merged, "sim": stats}
 
 

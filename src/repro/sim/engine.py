@@ -241,6 +241,35 @@ class Simulator:
         self._now = time
         self._elided += 1
 
+    def advance_over(self, time, count):
+        """Move the clock to ``time``, accounting ``count`` elided events.
+
+        The bulk form of :meth:`advance_to` for the link's batch drain: a
+        whole chunk of transmissions was computed ahead of time, so one
+        validated advance covers all of them.  The same bounds apply —
+        ``time`` may not overtake the earliest pending event or the run
+        horizon — but they are checked once per chunk instead of once per
+        packet.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot advance to {time!r}: clock is already {self._now!r}"
+            )
+        head = self.peek_time()
+        if head is not None and time > head:
+            raise SimulationError(
+                f"advance_over({time!r}) would overtake the pending event "
+                f"at {head!r}"
+            )
+        until = self._run_until
+        if until is not None and time > until:
+            raise SimulationError(
+                f"advance_over({time!r}) would overtake the run horizon "
+                f"{until!r}"
+            )
+        self._now = time
+        self._elided += count
+
     def run(self, until=None, max_events=None):
         """Process events until the queue drains, ``until`` is reached, or
         ``max_events`` callbacks have run.  Returns the final clock value.

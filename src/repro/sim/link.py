@@ -168,6 +168,48 @@ class Link:
             self._start_next(now)
         return True
 
+    def send_batch(self, packets):
+        """A chunk of packets arrives at the queueing point *now*.
+
+        Semantically identical to calling :meth:`send` per packet, but the
+        chunk is handed to the scheduler's amortized
+        :meth:`~repro.core.scheduler.PacketScheduler.enqueue_batch` and
+        the arrival trace is appended in bulk.  Falls back to the
+        per-packet loop whenever a packet could be rejected (buffer caps,
+        a drop callback): batching only pays when every packet is
+        accepted, and the drop bookkeeping is per-packet by nature.
+        Returns the number of packets accepted.
+        """
+        scheduler = self.scheduler
+        if self.drop_callback is not None or not scheduler.lossless:
+            accepted = 0
+            for packet in packets:
+                if self.send(packet):
+                    accepted += 1
+            return accepted
+        if not packets:
+            return 0
+        now = self.sim.now
+        trace = self.trace
+        if not self._transmitting and not self._paused:
+            # Per-packet ``send`` semantics: the burst's first packet
+            # starts transmitting *before* the rest is enqueued, so its
+            # selection must not see the later arrivals.
+            head, rest = packets[:1], packets[1:]
+            accepted = scheduler.enqueue_batch(head, now=now)
+            if trace is not None:
+                trace.record_arrivals(head, now)
+            self._start_next(now)
+            if rest:
+                accepted += scheduler.enqueue_batch(rest, now=now)
+                if trace is not None:
+                    trace.record_arrivals(rest, now)
+            return accepted
+        accepted = scheduler.enqueue_batch(packets, now=now)
+        if trace is not None:
+            trace.record_arrivals(packets, now)
+        return accepted
+
     def _start_next(self, now):
         record = self.scheduler.dequeue(now=now)
         self._transmitting = True
@@ -207,26 +249,90 @@ class Link:
         earliest pending event (equal-time events keep their heap-ordered
         semantics by falling back to a real finish event) and weakly by
         the run horizon (an event at exactly ``until`` still fires).
-        Each iteration performs the same ``dequeue(now=...)`` at the same
-        clock value as the event-per-packet path, so tags, traces, and
-        obs events are bit-identical.
+        Every dequeue happens at exactly the same clock value as in the
+        event-per-packet path, so tags, traces, and obs events are
+        bit-identical.
+
+        With no observer — or only *passive* sinks (see
+        :class:`~repro.obs.sinks.Sink`) — the whole burst is handed to
+        the scheduler's amortized
+        :meth:`~repro.core.scheduler.PacketScheduler.drain_until` and the
+        clock is advanced once over the chunk.  A non-passive sink is
+        arbitrary user code that may touch the simulator mid-burst, so it
+        keeps the packet-at-a-time loop with a validated
+        :meth:`~repro.sim.engine.Simulator.advance_to` per packet.
         """
         scheduler = self.scheduler
+        obs = scheduler.observer
+        if obs is not None and not obs.passive:
+            self._drain_steps(sim, now, scheduler)
+            return
+        bound = sim.peek_time()
+        horizon = sim._run_until
+        # The drain stops *strictly* before the next event but only
+        # *weakly* before the horizon, while drain_until's single limit
+        # keeps the first packet whose finish merely reaches it.  Map the
+        # tighter of the two onto that: when the event bound governs, its
+        # crossing packet is exact; when the horizon governs, a packet
+        # finishing exactly on it is in fact complete — handled below by
+        # re-entering the drain (the outer while).
+        if bound is None:
+            limit = horizon
+        elif horizon is None or bound <= horizon:
+            limit = bound
+        else:
+            limit = horizon
+        records = []
+        try:
+            while True:
+                scheduler.drain_until(limit, now=now, into=records)
+                last = records[-1]
+                finish = last.finish_time
+                if ((bound is not None and finish >= bound)
+                        or (horizon is not None and finish > horizon)):
+                    # Event granularity needed: the crossing packet goes
+                    # back in flight with a real finish event.
+                    records.pop()
+                    self._transmitting = True
+                    event = sim.schedule(finish, self._finish, last,
+                                         priority=-1)
+                    self._current = (last, event)
+                    return
+                if scheduler.is_empty:
+                    return
+                # Only reachable when the horizon cut the chunk at an
+                # exactly-coincident finish: resume draining (the next
+                # packet necessarily crosses).
+                now = finish
+        finally:
+            # Everything left in `records` completed its transmission
+            # inside the drained window — including a partially drained
+            # chunk when a sink aborts mid-burst.
+            if records:
+                packets = len(records)
+                bits = 0
+                busy = 0.0
+                for record in records:
+                    bits += record.packet.length
+                    busy += record.finish_time - record.start_time
+                sim.advance_over(records[-1].finish_time, packets)
+                self._bits_sent += bits
+                self._packets_sent += packets
+                self._busy_time += busy
+                if self.trace is not None:
+                    self.trace.record_services(records)
+
+    def _drain_steps(self, sim, now, scheduler):
+        """Packet-at-a-time drain under a non-passive observer."""
         dequeue = scheduler.dequeue
         trace = self.trace
         bound = sim.peek_time()
         horizon = sim._run_until
-        # With no observer attached, nothing that runs inside the drain
-        # (scheduler dequeues only) can touch the simulator, so the bound
-        # read above stays valid for the whole drain and the clock can be
-        # moved directly.  Obs sinks are arbitrary user code (one could
-        # schedule an event below the bound); advance_to re-validates
-        # against the live heap and raises rather than overtake it.
-        if scheduler.observer is None:
-            advance = None
-        else:
-            advance = sim.advance_to
-        elided = 0
+        # Obs sinks on this path are arbitrary user code (one could
+        # schedule an event below the bound read above); advance_to
+        # re-validates against the live heap and raises rather than
+        # overtake it.
+        advance = sim.advance_to
         packets = 0
         bits = 0
         busy = 0.0
@@ -242,11 +348,7 @@ class Link:
                                          priority=-1)
                     self._current = (record, event)
                     return
-                if advance is None:
-                    sim._now = finish
-                    elided += 1
-                else:
-                    advance(finish)
+                advance(finish)
                 now = finish
                 bits += record.packet.length
                 packets += 1
@@ -256,7 +358,6 @@ class Link:
                 if scheduler.is_empty:
                     return
         finally:
-            sim._elided += elided
             self._bits_sent += bits
             self._packets_sent += packets
             self._busy_time += busy

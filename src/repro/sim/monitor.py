@@ -33,9 +33,25 @@ class ServiceTrace:
         self.arrivals.append(entry)
         self._arrivals_by_flow[packet.flow_id].append(entry)
 
+    def record_arrivals(self, packets, now):
+        """Record a same-instant chunk of arrivals (the batch send path)."""
+        arrivals = self.arrivals
+        by_flow = self._arrivals_by_flow
+        for packet in packets:
+            entry = (packet.flow_id, now, packet.length)
+            arrivals.append(entry)
+            by_flow[packet.flow_id].append(entry)
+
     def record_service(self, record):
         self.services.append(record)
         self._services_by_flow[record.flow_id].append(record)
+
+    def record_services(self, records):
+        """Record a chunk of service records (the batch drain path)."""
+        self.services.extend(records)
+        by_flow = self._services_by_flow
+        for record in records:
+            by_flow[record.flow_id].append(record)
 
     # ------------------------------------------------------------------
     # Views

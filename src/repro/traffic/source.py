@@ -524,12 +524,30 @@ class TraceSource(Source):
 
     def _emit(self):
         now = self.sim.now
-        while self._next < len(self._entries) and self._entries[self._next][0] <= now:
-            _t, length = self._entries[self._next]
-            self._send_packet(now, length=length)
-            self._next += 1
-        if self._next < len(self._entries):
-            self.sim.schedule(self._entries[self._next][0], self._emit)
+        entries = self._entries
+        i = self._next
+        n = len(entries)
+        batch = []
+        while i < n and entries[i][0] <= now:
+            length = entries[i][1]
+            batch.append(Packet(self.flow_id, length, arrival_time=now,
+                                seqno=self.packets_sent))
+            self.packets_sent += 1
+            self.bits_sent += length
+            i += 1
+        self._next = i
+        if batch:
+            # Same-instant packets go through the link's batch enqueue in
+            # one call; shapers and other link impersonators that only
+            # offer send() get the per-packet loop.
+            send_batch = getattr(self.link, "send_batch", None)
+            if send_batch is not None and len(batch) > 1:
+                send_batch(batch)
+            else:
+                for packet in batch:
+                    self.link.send(packet)
+        if i < n:
+            self.sim.schedule(entries[i][0], self._emit)
 
     def next_gap(self):  # pragma: no cover - _emit is overridden
         return None
