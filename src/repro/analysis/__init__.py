@@ -7,6 +7,8 @@
 * :mod:`repro.analysis.lag` — service-lag curves (Figure 5).
 * :mod:`repro.analysis.bandwidth` — throughput series with exponential
   averaging (Figure 9).
+* :mod:`repro.analysis.fluid` — batched GPS fluid reference (whole-trace
+  tags and finish times; numpy-accelerated with an exact online fallback).
 """
 
 from repro.analysis.bandwidth import exponential_average, throughput_series
@@ -26,6 +28,7 @@ from repro.analysis.fairness import (
     relative_fairness_bound,
     throughput_shares,
 )
+from repro.analysis.fluid import fluid_finish_times
 from repro.analysis.lag import max_service_lag, service_lag_series
 from repro.analysis.wfi import backlogged_periods, empirical_bwfi, empirical_twfi
 
@@ -49,4 +52,5 @@ __all__ = [
     "max_service_lag",
     "throughput_series",
     "exponential_average",
+    "fluid_finish_times",
 ]

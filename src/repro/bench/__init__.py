@@ -40,11 +40,18 @@ from repro.bench.harness import (
     to_payload,
 )
 from repro.bench.parallel import parallel_map, run_scenarios_parallel
-from repro.bench.scenarios import SCENARIOS, run_scenarios
+from repro.bench.scenarios import (
+    CHUNK_AWARE,
+    SCENARIOS,
+    autotuned_chunk,
+    run_scenarios,
+)
 
 __all__ = [
     "BenchPoint",
+    "CHUNK_AWARE",
     "SCENARIOS",
+    "autotuned_chunk",
     "compare",
     "format_compare",
     "format_markdown",

@@ -8,6 +8,7 @@ A benchmark run produces a list of :class:`BenchPoint` — one per
       "generated_at": "2026-01-01T00:00:00Z",
       "git_rev": "abc1234",
       "python": "3.12.1",
+      "numpy": "2.4.6",
       "platform": {"system": "Linux", "release": "...", "machine": "x86_64",
                    "processor": "...", "cpu_count": 8},
       "scenarios": [
@@ -176,12 +177,17 @@ def platform_info():
 
 def to_payload(points):
     """Build the JSON document for a list of points."""
+    from repro.core.batch import numpy_version
+
     return {
         "version": SCHEMA_VERSION,
         "generated_at": time.strftime(
             "%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "git_rev": _git_rev(),
         "python": sys.version.split()[0],
+        # None on numpy-less hosts: the columnar kernels then ran their
+        # pure-array lanes, which is provenance a baseline must carry.
+        "numpy": numpy_version(),
         "platform": platform_info(),
         "scenarios": [p.to_dict() for p in points],
     }

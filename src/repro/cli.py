@@ -50,6 +50,8 @@ def _stats_registry():
         HPFQScheduler,
         SCFQScheduler,
         SFQScheduler,
+        VectorHWF2QPlus,
+        VectorWF2QPlus,
         VirtualClockScheduler,
         WF2QPlusScheduler,
         WF2QScheduler,
@@ -57,7 +59,7 @@ def _stats_registry():
         WRRScheduler,
     )
 
-    def make_hier(policy):
+    def make_hier(policy, cls=HPFQScheduler):
         def build(rate, n_flows):
             # Balanced two-level tree: groups of up to 8 leaves.
             groups, chunk = [], 8
@@ -65,8 +67,7 @@ def _stats_registry():
                 leaves = [leaf(str(i), 1 + (i % 3))
                           for i in range(g, min(g + chunk, n_flows))]
                 groups.append(node(f"g{g // chunk}", len(leaves), leaves))
-            return HPFQScheduler(node("root", 1, groups), rate,
-                                 policy=policy)
+            return cls(node("root", 1, groups), rate, policy=policy)
         return build
 
     def make_flat(cls):
@@ -88,14 +89,17 @@ def _stats_registry():
         "wfq": make_flat(WFQScheduler),
         "wf2q": make_flat(WF2QScheduler),
         "wf2qplus": make_flat(WF2QPlusScheduler),
+        "vwf2qplus": make_flat(VectorWF2QPlus),
         "hwf2qplus": make_hier("wf2qplus"),
+        "vhwf2qplus": make_hier("wf2qplus", cls=VectorHWF2QPlus),
         "hwfq": make_hier("wfq"),
     }
     return registry
 
 
 STATS_SCHEDULERS = ("fifo", "wrr", "drr", "scfq", "sfq", "vclock", "ffq",
-                    "wfq", "wf2q", "wf2qplus", "hwf2qplus", "hwfq")
+                    "wfq", "wf2q", "wf2qplus", "vwf2qplus", "hwf2qplus",
+                    "vhwf2qplus", "hwfq")
 
 
 def _positive_int(text):
@@ -103,6 +107,17 @@ def _positive_int(text):
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+def _chunk_arg(text):
+    """``--chunk`` value: a positive integer or the literal ``auto``."""
+    if text == "auto":
+        return "auto"
+    try:
+        return _positive_int(text)
+    except (ValueError, argparse.ArgumentTypeError):
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {text!r}")
 
 
 def _cmd_stats(args):
@@ -115,8 +130,17 @@ def _cmd_stats(args):
     )
 
     sched = _stats_registry()[args.scheduler](args.rate, args.flows)
-    metrics = MetricsSink()
-    sinks = [metrics]
+    # The columnar vector backends engage their batch kernels only when
+    # no observer is attached, so for them the (event-driven) metrics
+    # sink stays off by default and the engagement counters below tell
+    # the story instead.  --trace/--check still work but force the exact
+    # per-packet path for the whole run.
+    vector = hasattr(sched, "vector_stats")
+    metrics = None
+    sinks = []
+    if not vector or args.trace or args.check:
+        metrics = MetricsSink()
+        sinks.append(metrics)
     jsonl = None
     if args.trace:
         try:
@@ -129,8 +153,21 @@ def _cmd_stats(args):
     if args.check:
         checker = InvariantChecker()
         sinks.append(checker)
-    sched.attach_observer(*sinks)
-    profiler = SchedulerProfiler(sched)
+    if sinks:
+        sched.attach_observer(*sinks)
+    # The autotuner and the profiler shadow the same batch methods, so
+    # --chunk auto trades the wall-clock percentile report for the tuned
+    # chunk (both cannot wrap one scheduler at once).
+    tuner = None
+    profiler = None
+    if args.chunk == "auto":
+        from repro.obs import ChunkAutotuner
+
+        tuner = ChunkAutotuner(sched)
+    else:
+        if args.chunk is not None:
+            sched.drain_chunk = args.chunk
+        profiler = SchedulerProfiler(sched)
 
     sim = None
     if args.pipeline:
@@ -163,14 +200,36 @@ def _cmd_stats(args):
         while not sched.is_empty:
             sched.dequeue()
 
-    profiler.detach()
+    if profiler is not None:
+        profiler.detach()
+    if tuner is not None:
+        tuner.detach()
     workload = "pipeline" if args.pipeline else "churned"
     print(f"repro stats — {sched.name}, {args.flows} flows, "
           f"{args.packets} {workload} packets, {args.rate:g} bps")
-    print()
-    print(profiler.format_report())
-    print()
-    print(metrics.format_report())
+    if profiler is not None:
+        print()
+        print(profiler.format_report())
+    if tuner is not None:
+        chosen = ("pending (calibration window not filled)"
+                  if tuner.chosen is None and len(tuner.batch_samples)
+                  < tuner.window else repr(tuner.chosen))
+        print()
+        print(f"chunk autotuner: chosen={chosen} "
+              f"(window {len(tuner.batch_samples)}/{tuner.window}, "
+              f"drain_chunk={sched.drain_chunk!r})")
+    counters = sched.batch_stats()
+    print(f"batch API: {counters['batch_calls']} calls moving "
+          f"{counters['batch_packets']} packets")
+    if vector:
+        vs = sched.vector_stats()
+        print(f"vector backend: enqueued {vs['vector_enqueued']} vector / "
+              f"{vs['exact_enqueued']} exact, dequeued "
+              f"{vs['vector_dequeued']} vector / {vs['exact_dequeued']} "
+              f"exact (drain_chunk={vs['drain_chunk']!r})")
+    if metrics is not None:
+        print()
+        print(metrics.format_report())
     ledger = sched.conservation()
     print()
     print(f"conservation: arrivals={ledger['arrivals']} "
@@ -207,7 +266,8 @@ def _cmd_sim(args):
         print("repro sim: --migrate-cell requires --migrate-at")
         return 2
     params = {"flows": args.flows, "cells": args.cells, "rate": args.rate,
-              "seed": args.seed}
+              "seed": args.seed, "backend": args.backend,
+              "chunk": args.chunk}
     try:
         report = run_sharded(args.scenario, shards=args.shards,
                              duration=args.duration, migrate=migrate,
@@ -250,15 +310,22 @@ def _cmd_bench(args):
         print("repro bench: --report requires --compare "
               "(it records the regression table)")
         return 2
+    if args.chunk == "auto":
+        # "auto" is a measured *point* inside the chunk-aware scenarios'
+        # default sweep, not a sweep override.
+        print("repro bench: --chunk takes an integer (the 'auto' point "
+              "is part of the default hier_vector sweep)")
+        return 2
     names = args.scenario or None
     try:
         if args.jobs > 1:
             points = run_scenarios_parallel(
                 names=names, quick=args.quick, jobs=args.jobs,
+                chunk=args.chunk,
                 progress=lambda name: print(f"finished {name} ..."))
         else:
             points = run_scenarios(
-                names=names, quick=args.quick,
+                names=names, quick=args.quick, chunk=args.chunk,
                 progress=lambda name: print(f"running {name} ..."))
     except ValueError as exc:
         print(f"repro bench: {exc}")
@@ -301,7 +368,8 @@ def _cmd_bench(args):
                 print(f"\npossible regression; re-measuring {retry} "
                       "to rule out timer noise ...")
                 points = merge_best(
-                    points, run_scenarios(names=retry, quick=args.quick))
+                    points, run_scenarios(names=retry, quick=args.quick,
+                                          chunk=args.chunk))
                 if args.output:
                     payload = save(points, args.output)
                 else:
@@ -522,6 +590,10 @@ def build_parser():
     p_stats.add_argument("--pipeline", action="store_true",
                          help="drive the workload through the simulator+"
                               "link stack and report event-elision totals")
+    p_stats.add_argument("--chunk", type=_chunk_arg, default=None,
+                         metavar="N|auto",
+                         help="pin the burst-drain chunk, or 'auto' to "
+                              "let the batch-histogram autotuner pick it")
     p_stats.set_defaults(func=_cmd_stats)
 
     from repro.shard.scenarios import SHARD_SCENARIOS
@@ -542,6 +614,16 @@ def build_parser():
     p_sim.add_argument("--rate", type=float, default=None,
                        help="per-cell link rate in bits per second")
     p_sim.add_argument("--seed", type=int, default=1)
+    p_sim.add_argument("--backend", default=None,
+                       choices=("exact", "vector"),
+                       help="scheduler implementation: exact reference "
+                            "or the columnar float64 vector backend "
+                            "(digest-invariant)")
+    p_sim.add_argument("--chunk", type=_chunk_arg, default=None,
+                       metavar="N|auto",
+                       help="burst-drain chunk per scheduler: an integer "
+                            "pins drain_chunk, 'auto' attaches the "
+                            "batch-histogram autotuner")
     p_sim.add_argument("--migrate-at", type=float, default=None,
                        metavar="T",
                        help="checkpoint one cell at T and resume it in a "
@@ -576,6 +658,10 @@ def build_parser():
                          metavar="NAME=FRAC", default=None,
                          help="override the threshold for one scenario "
                               "(repeatable), e.g. sharded_pipeline=0.6")
+    p_bench.add_argument("--chunk", type=_chunk_arg, default=None,
+                         metavar="N",
+                         help="override the chunk sweep of the chunk-aware "
+                              "scenarios (batch_pipeline, hier_vector)")
     p_bench.add_argument("--jobs", type=_positive_int, default=1,
                          metavar="N",
                          help="run scenarios across N worker processes "

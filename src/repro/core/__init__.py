@@ -21,6 +21,8 @@ Hierarchical servers:
 
 * :class:`~repro.core.hierarchy.HPFQScheduler` — the Section 4 H-PFQ
   construction, generic in the per-node policy (H-WF2Q+, H-WFQ, H-SCFQ, ...).
+* :class:`~repro.core.hbatch.VectorHWF2QPlus` — opt-in float64 columnar
+  H-WF2Q+ backend (vectorized batch ARRIVE, fused RESET/RESTART chunks).
 * :class:`~repro.core.hgps.HGPSFluidSystem` — the fluid H-GPS reference.
 """
 
@@ -40,6 +42,7 @@ from repro.core.virtual_clock import VirtualClockScheduler
 from repro.core.wrr import WRRScheduler
 from repro.core.ffq import FFQScheduler
 from repro.core.ablation import NoEligibilityWF2QPlus, NoFloorWF2QPlus
+from repro.core.hbatch import NodeColumns, VectorHWF2QPlus, make_vhwf2qplus
 from repro.core.hgps import HGPSFluidSystem
 from repro.core.hierarchy import (
     HPFQScheduler,
@@ -73,6 +76,9 @@ __all__ = [
     "NoFloorWF2QPlus",
     "HGPSFluidSystem",
     "HPFQScheduler",
+    "NodeColumns",
+    "VectorHWF2QPlus",
+    "make_vhwf2qplus",
     "NodeSpec",
     "make_hwf2qplus",
     "make_hwfq",

@@ -51,9 +51,21 @@ except ImportError:  # pragma: no cover - exercised on numpy-less hosts
     _np = None
     HAVE_NUMPY = False
 
-__all__ = ["FlowColumns", "VectorWF2QPlus", "HAVE_NUMPY", "NUMPY_MIN_CHUNK"]
+__all__ = ["FlowColumns", "VectorWF2QPlus", "HAVE_NUMPY", "NUMPY_MIN_CHUNK",
+           "numpy_version"]
 
 _INF = float("inf")
+
+
+def numpy_version():
+    """numpy's version string, or None on numpy-less hosts.
+
+    Bench payloads record this next to the Python version: whether the
+    columnar kernels ran their numpy or pure-``array`` lanes is part of
+    a measurement's provenance, and baselines should only be compared
+    within one lane.
+    """
+    return _np.__version__ if HAVE_NUMPY else None
 
 #: Below this many elements the plain-Python loop beats the numpy call
 #: overhead (ufunc dispatch + view creation), measured on the bench host.
@@ -464,7 +476,7 @@ class VectorWF2QPlus(PacketScheduler):
     def drain_until(self, limit, now=None, into=None):
         if type(self) is VectorWF2QPlus and self._obs is None:
             return self._dequeue_chunk(
-                None, limit, now, [] if into is None else into)
+                self.drain_chunk, limit, now, [] if into is None else into)
         return PacketScheduler.drain_until(self, limit, now, into)
 
     def _dequeue_chunk(self, n, limit, now, records):

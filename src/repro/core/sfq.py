@@ -123,7 +123,7 @@ class SFQScheduler(PacketScheduler):
     def drain_until(self, limit, now=None, into=None):
         if type(self) is SFQScheduler and self._obs is None:
             return self._dequeue_chunk(
-                None, limit, now, [] if into is None else into)
+                self.drain_chunk, limit, now, [] if into is None else into)
         return PacketScheduler.drain_until(self, limit, now, into)
 
     def _dequeue_chunk(self, n, limit, now, records):

@@ -1,0 +1,423 @@
+"""Differential and unit suite for the columnar H-WF2Q+ backend.
+
+Pins the contracts the vectorized hierarchy must honour:
+
+* **Bit-equivalence on floats** — :class:`VectorHWF2QPlus` driven through
+  the batch APIs produces the exact transcript of a float
+  ``HPFQScheduler(policy="wf2qplus")`` driven per-packet, on randomized
+  depth <= 4 topologies (same trees as the exact differential suite).
+* **Exactness on power-of-two rates** — dyadic shares make every tag a
+  float-representable rational, so the float64 columns match the
+  Fraction-driven exact scheduler *exactly*; arbitrary shares get a
+  documented tolerance on cumulative service instead (float division is
+  inexact there even packet-by-packet, so transcript order near exact
+  ties is the only thing allowed to differ).
+* **Level-synchronous tag view** — ``level_tags`` agrees with a
+  recursive walk of the live node objects at every depth.
+* **Fallback guards** — an attached observer or a subclass disengages
+  the kernels (counters prove it) with identical service.
+* **Chunked drains are service-invariant** — ``drain_chunk`` bounds
+  kernel latency, never what is scheduled.
+* **Autotuning is deterministic** — ``recommend_chunk`` is a pure
+  bucket-argmin; ``ChunkAutotuner`` applies it after a fixed window and
+  detaches its wrappers.
+* **Shard digests** — the vector backend keeps the merged-report digest
+  invariant across shard counts and drain chunks (like-for-like: vector
+  digests compare with vector digests — exact tags serialise int zeros
+  where float columns hold ``0.0``).
+"""
+
+import multiprocessing
+import random
+from fractions import Fraction as Fr
+
+import pytest
+
+from repro.config import leaf, node
+from repro.core.hbatch import VectorHWF2QPlus, make_vhwf2qplus
+from repro.core.hierarchy import HPFQScheduler
+from repro.core.packet import Packet
+from repro.core.scheduler import BATCH_BUCKETS
+from repro.errors import ConfigurationError
+from repro.obs import (
+    CHUNK_CHOICES,
+    ChunkAutotuner,
+    MetricsSink,
+    recommend_chunk,
+)
+
+from tests.test_equivalence_optimized import bursty_arrivals, pow2_tree
+from tests.test_hierarchy_differential import random_tree
+
+
+# ----------------------------------------------------------------------
+# Batch-driven workload harness
+# ----------------------------------------------------------------------
+def float_workload(rng, leaves, bursts=18):
+    """Bursty float arrivals plus a dense same-instant churn window."""
+    arrivals = [
+        (rng.randrange(4096) / 4096.0, seq, rng.choice(leaves),
+         rng.choice([0.5, 1.0, 1.5]))
+        for seq in range(100)
+    ]
+    arrivals += [
+        (2.0 + t, 1000 + seq, fid, ln)
+        for t, seq, fid, ln in bursty_arrivals(leaves, seed=7, bursts=bursts)
+    ]
+    return sorted(arrivals)
+
+
+def drive_batched(sched, arrivals, chunk=16):
+    """Feed same-instant groups via ``enqueue_batch``; drain in chunks.
+
+    Greedy server like the exact suite's ``drive``, but through the batch
+    APIs so the vector kernels actually engage.  Returns the observable
+    transcript ``(flow_id, start, finish, virtual_start, virtual_finish)``.
+    """
+    out = []
+    idx, n = 0, len(arrivals)
+    while idx < n or not sched.is_empty:
+        next_arr = arrivals[idx][0] if idx < n else None
+        if next_arr is not None and (
+                sched.is_empty
+                or next_arr <= max(sched.clock, sched.busy_until)):
+            group = []
+            while idx < n and arrivals[idx][0] == next_arr:
+                _t, _seq, fid, ln = arrivals[idx]
+                group.append(Packet(fid, ln, arrival_time=next_arr))
+                idx += 1
+            sched.enqueue_batch(group, now=next_arr)
+            continue
+        # Serve until the next arrival's instant (the crossing packet is
+        # included, exactly like the one-at-a-time greedy server), or in
+        # count-bounded chunks once the trace is exhausted.
+        records = (sched.dequeue_batch(chunk) if next_arr is None
+                   else sched.drain_until(next_arr))
+        for rec in records:
+            out.append((rec.flow_id, rec.start_time, rec.finish_time,
+                        rec.virtual_start, rec.virtual_finish))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Differential: vector vs exact
+# ----------------------------------------------------------------------
+class TestVectorDifferential:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 5, 8])
+    def test_random_topology_bit_identical_to_float_exact(self, seed):
+        rng = random.Random(seed)
+        spec, leaves = random_tree(rng)
+        while len(leaves) < 4:
+            spec, leaves = random_tree(rng)
+        arrivals = float_workload(rng, leaves)
+
+        vec = VectorHWF2QPlus(spec, 16.0)
+        ref = HPFQScheduler(spec, 16.0, policy="wf2qplus")
+        got = drive_batched(vec, arrivals)
+        want = drive_batched(ref, arrivals)
+
+        assert len(got) == len(arrivals)
+        # Bit-identical, not approximately equal: the columns evaluate
+        # the same IEEE-754 expressions in the same order.
+        assert got == want
+        # Small same-instant groups stay under BATCH_KERNEL_MIN on the
+        # enqueue side, but the drains go through the vector kernels.
+        assert vec.vector_stats()["vector_dequeued"] > 0
+
+    def test_pow2_rates_match_fraction_exact_exactly(self):
+        # Dyadic shares, lengths and arrival grid: every Fraction tag the
+        # exact scheduler computes stays a small dyadic rational (all
+        # divisors are powers of two), so the float64 columns must land
+        # on it *exactly* — no tolerance.  Times are snapped to a /4096
+        # grid to keep the significands short enough that float addition
+        # never rounds.
+        rng = random.Random(11)
+        spec = pow2_tree()
+        leaves = ["a", "b", "c", "d", "e", "f"]
+        arrivals = sorted(
+            (round(t * 4096) / 4096.0, seq, fid, ln)
+            for t, seq, fid, ln in float_workload(rng, leaves))
+
+        vec = VectorHWF2QPlus(spec, 16.0)
+        ref = HPFQScheduler(spec, Fr(16), policy="wf2qplus")
+        got = drive_batched(vec, arrivals)
+        want = [
+            (fid, float(s), float(f), float(vs), float(vf))
+            for fid, s, f, vs, vf in drive_batched(
+                ref, [(Fr(t), seq, fid, Fr(ln))
+                      for t, seq, fid, ln in arrivals])
+        ]
+        assert got == want
+
+    def test_arbitrary_shares_service_within_tolerance(self):
+        # Non-dyadic shares: float division rounds, so only cumulative
+        # per-flow service is compared (order may differ at exact ties).
+        spec = node("root", 1, [
+            node("g0", 3, [leaf("a", 1), leaf("b", 7)]),
+            node("g1", 5, [leaf("c", 3), leaf("d", 1), leaf("e", 2)]),
+        ])
+        rng = random.Random(23)
+        arrivals = float_workload(rng, ["a", "b", "c", "d", "e"])
+        vec = VectorHWF2QPlus(spec, 10.0)
+        ref = HPFQScheduler(spec, Fr(10), policy="wf2qplus")
+        got = drive_batched(vec, arrivals)
+        want = drive_batched(
+            ref, [(Fr(t), seq, fid, Fr(ln)) for t, seq, fid, ln in arrivals])
+
+        served_vec = {}
+        served_ref = {}
+        for fid, _s, f, _vs, _vf in got:
+            served_vec[fid] = served_vec.get(fid, 0) + 1
+        for fid, _s, f, _vs, _vf in want:
+            served_ref[fid] = served_ref.get(fid, 0) + 1
+        assert served_vec == served_ref
+        last_vec = max(f for _fid, _s, f, _vs, _vf in got)
+        last_ref = max(f for _fid, _s, f, _vs, _vf in want)
+        assert last_vec == pytest.approx(float(last_ref), rel=1e-9)
+
+    def test_level_tags_match_recursive_walk(self):
+        rng = random.Random(5)
+        spec, leaves = random_tree(rng)
+        while len(leaves) < 4:
+            spec, leaves = random_tree(rng)
+        vec = VectorHWF2QPlus(spec, 16.0)
+        arrivals = float_workload(rng, leaves, bursts=6)
+        # Stop mid-backlog so the tags are non-trivial.
+        mid = arrivals[: len(arrivals) // 2]
+        drive_batched(vec, mid, chunk=8)
+
+        order = sorted(vec._nodes.values(), key=lambda n: n.node_id)
+        by_depth = {}
+        for nd in order:  # recursive-walk equivalent, in dense-id order
+            by_depth.setdefault(len(nd.path) - 1, []).append(
+                (nd.name, float(nd.start_tag), float(nd.finish_tag),
+                 float(nd.virtual)))
+        for depth, want in by_depth.items():
+            assert vec.level_tags(depth) == want
+
+
+# ----------------------------------------------------------------------
+# Kernel engagement guards
+# ----------------------------------------------------------------------
+class TestFallbackGuards:
+    def _spec(self):
+        return node("root", 1, [
+            node("g", 1, [leaf("a", 1), leaf("b", 1)]),
+            leaf("c", 2),
+        ])
+
+    def test_large_burst_engages_both_kernels(self):
+        vec = VectorHWF2QPlus(pow2_tree(), 16.0)
+        pkts = [Packet(fid, 1.0, arrival_time=0.0)
+                for fid in "abcdef" for _ in range(16)]
+        vec.enqueue_batch(pkts, now=0.0)
+        stats = vec.vector_stats()
+        # New heads on idle chains hand off to the exact RESTART walk by
+        # design, so the kernel takes most — not all — of the burst.
+        assert stats["vector_enqueued"] > 0
+        assert stats["vector_enqueued"] + stats["exact_enqueued"] == len(pkts)
+        vec.dequeue_batch(len(pkts))
+        stats = vec.vector_stats()
+        assert stats["vector_dequeued"] > 0
+        assert stats["vector_dequeued"] + stats["exact_dequeued"] == len(pkts)
+
+    def test_observer_forces_exact_path(self):
+        vec = VectorHWF2QPlus(self._spec(), 8.0)
+        vec.attach_observer(MetricsSink())
+        pkts = [Packet("a", 1.0, arrival_time=0.0) for _ in range(32)]
+        vec.enqueue_batch(pkts, now=0.0)
+        vec.dequeue_batch(32)
+        stats = vec.vector_stats()
+        assert stats["vector_enqueued"] == 0
+        assert stats["vector_dequeued"] == 0
+        assert stats["exact_enqueued"] == 32
+        assert stats["exact_dequeued"] == 32
+
+    def test_subclass_forces_exact_path(self):
+        class Sub(VectorHWF2QPlus):
+            pass
+
+        sub = Sub(self._spec(), 8.0)
+        sub.enqueue_batch(
+            [Packet("a", 1.0, arrival_time=0.0) for _ in range(32)],
+            now=0.0)
+        sub.dequeue_batch(32)
+        stats = sub.vector_stats()
+        assert stats["vector_enqueued"] == 0
+        assert stats["vector_dequeued"] == 0
+
+    def test_policy_guardrails(self):
+        with pytest.raises(ConfigurationError):
+            VectorHWF2QPlus(self._spec(), 8.0, policy="sfq")
+        with pytest.raises(ConfigurationError):
+            VectorHWF2QPlus(self._spec(), 8.0,
+                            policy_overrides={"g": "sfq"})
+
+    def test_factory(self):
+        sched = make_vhwf2qplus(self._spec(), 8.0)
+        assert isinstance(sched, VectorHWF2QPlus)
+        assert sched.name == "VH-WF2Q+"
+
+
+# ----------------------------------------------------------------------
+# Chunked drains
+# ----------------------------------------------------------------------
+class TestDrainChunk:
+    def test_drain_chunk_is_service_invariant(self):
+        rng = random.Random(31)
+        spec, leaves = random_tree(rng)
+        while len(leaves) < 4:
+            spec, leaves = random_tree(rng)
+        arrivals = float_workload(rng, leaves, bursts=8)
+
+        def transcript(chunk):
+            sched = VectorHWF2QPlus(spec, 16.0)
+            if chunk is not None:
+                sched.drain_chunk = chunk
+            out = []
+            idx, n = 0, len(arrivals)
+            while idx < n or not sched.is_empty:
+                next_arr = arrivals[idx][0] if idx < n else None
+                if next_arr is not None and (
+                        sched.is_empty
+                        or next_arr <= max(sched.clock, sched.busy_until)):
+                    t, _seq, fid, ln = arrivals[idx]
+                    idx += 1
+                    sched.enqueue(Packet(fid, ln, arrival_time=t), now=t)
+                    continue
+                # Link._drain's loop shape: re-enter until the horizon is
+                # reached, so a chunk-capped drain just yields in slices.
+                while True:
+                    records = sched.drain_until(next_arr)
+                    out.extend(
+                        (r.flow_id, r.start_time, r.finish_time)
+                        for r in records)
+                    if not records or sched.is_empty:
+                        break
+                    if (next_arr is not None
+                            and records[-1].finish_time >= next_arr):
+                        break
+            return out
+
+        base = transcript(None)
+        for chunk in (1, 3, 64):
+            assert transcript(chunk) == base
+
+    def test_snapshot_restore_mid_run(self):
+        rng = random.Random(17)
+        spec, leaves = random_tree(rng)
+        while len(leaves) < 4:
+            spec, leaves = random_tree(rng)
+        arrivals = float_workload(rng, leaves, bursts=6)
+        half = len(arrivals) // 2
+
+        sched = VectorHWF2QPlus(spec, 16.0)
+        drive_batched(sched, arrivals[:half])
+        for t, _seq, fid, ln in arrivals[half: half + 20]:
+            sched.enqueue(Packet(fid, ln, arrival_time=t),
+                          now=max(t, sched.clock))
+        snap = sched.snapshot()
+
+        tail = [r.flow_id for r in sched.drain_until(sched.clock + 1e9)]
+        clone = VectorHWF2QPlus(spec, 16.0)
+        clone.restore(snap)
+        tail2 = [r.flow_id for r in clone.drain_until(clone.clock + 1e9)]
+        assert tail and tail == tail2
+
+
+# ----------------------------------------------------------------------
+# Chunk autotuning
+# ----------------------------------------------------------------------
+class TestAutotuning:
+    def test_recommend_chunk_fixed_histogram(self):
+        # One sample per bucket; per-packet cost minimised in the 512+
+        # bucket -> the largest choice wins, deterministically.
+        samples = [
+            (1e-6, 1),        # 1        -> 1000 ns/pkt
+            (3e-6, 4),        # 2-7      -> 750
+            (20e-6, 40),      # 8-63     -> 500
+            (100e-6, 400),    # 64-511   -> 250
+            (120e-6, 1200),   # 512+     -> 100
+        ]
+        assert len(BATCH_BUCKETS) == len(CHUNK_CHOICES)
+        for _ in range(3):  # pure function: stable under repetition
+            assert recommend_chunk(samples) == CHUNK_CHOICES[-1]
+
+    def test_recommend_chunk_tie_prefers_smaller(self):
+        samples = [(1e-6, 1), (4e-6, 4)]  # both 1000 ns/pkt
+        assert recommend_chunk(samples) == CHUNK_CHOICES[0]
+
+    def test_recommend_chunk_empty(self):
+        assert recommend_chunk([]) is None
+        assert recommend_chunk([(1e-6, 0)]) is None
+
+    def test_recommend_chunk_validates_choices(self):
+        with pytest.raises(ValueError):
+            recommend_chunk([(1e-6, 1)], choices=(1, 2))
+
+    def test_autotuner_applies_and_detaches(self):
+        spec = node("root", 1, [leaf("a", 1), leaf("b", 1)])
+        sched = VectorHWF2QPlus(spec, 4.0)
+        ticks = iter(i * 1e-5 for i in range(10_000))
+        tuner = ChunkAutotuner(sched, window=6, clock=lambda: next(ticks))
+        assert tuner.attached
+        t = 0.0
+        for _ in range(3):
+            sched.enqueue_batch(
+                [Packet("a", 1.0, arrival_time=t) for _ in range(300)]
+                + [Packet("b", 1.0, arrival_time=t) for _ in range(300)],
+                now=t)
+            while not sched.is_empty:
+                sched.dequeue_batch(600)
+            t = sched.clock + 1.0
+        assert not tuner.attached  # window hit -> wrappers removed
+        assert tuner.chosen in CHUNK_CHOICES
+        assert sched.drain_chunk == tuner.chosen
+        # Instance dict is clean: the methods are the class's own again.
+        assert "dequeue_batch" not in vars(sched)
+
+    def test_autotuner_no_packets_leaves_chunk_alone(self):
+        spec = node("root", 1, [leaf("a", 1), leaf("b", 1)])
+        sched = VectorHWF2QPlus(spec, 4.0)
+        tuner = ChunkAutotuner(sched, window=2)
+        sched.dequeue_batch(4)  # empty scheduler: 0 packets moved
+        sched.dequeue_batch(4)
+        assert not tuner.attached
+        assert tuner.chosen is None
+        assert sched.drain_chunk is None
+
+
+# ----------------------------------------------------------------------
+# Sharded runs with the vector backend
+# ----------------------------------------------------------------------
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="shard suite forks its worker pools")
+class TestShardVectorBackend:
+    def test_vector_digest_invariant_across_shards_and_chunks(self):
+        from repro.shard import run_sharded
+
+        params = dict(flows=8, cells=2, duration=0.003, backend="vector")
+        base = run_sharded("hier", shards=1, **params)
+        for variant in (
+            run_sharded("hier", shards=2, mp_context="fork", **params),
+            run_sharded("hier", shards=1, chunk=64, **params),
+            run_sharded("hier", shards=1, chunk="auto", **params),
+        ):
+            assert variant["digest"] == base["digest"]
+
+    def test_build_scheduler_rejects_unknown_backend(self):
+        from repro.shard.worker import build_scheduler
+
+        spec = {"kind": "flat", "policy": "wf2qplus", "rate": 8.0,
+                "flows": [["a", 1], ["b", 1]], "backend": "simd"}
+        with pytest.raises(ConfigurationError):
+            build_scheduler(spec)
+
+    def test_build_scheduler_vector_flat_requires_wf2qplus(self):
+        from repro.shard.worker import build_scheduler
+
+        spec = {"kind": "flat", "policy": "sfq", "rate": 8.0,
+                "flows": [["a", 1], ["b", 1]], "backend": "vector"}
+        with pytest.raises(ConfigurationError):
+            build_scheduler(spec)
