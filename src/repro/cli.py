@@ -271,6 +271,7 @@ def _cmd_sim(args):
     try:
         report = run_sharded(args.scenario, shards=args.shards,
                              duration=args.duration, migrate=migrate,
+                             max_retries=args.max_retries,
                              **params)
     except ConfigurationError as exc:
         print(f"repro sim: {exc}")
@@ -289,6 +290,75 @@ def _cmd_sim(args):
                   f"{baseline['digest']} != sharded {report['digest']}")
             return 1
         print(f"verify: OK — digest matches the single-process run")
+    return 0
+
+
+def _cmd_serve(args):
+    from repro.errors import CheckpointError, ServiceError
+    from repro.serve import (
+        ServiceRunner,
+        build_service_spec,
+        format_soak,
+        run_soak,
+        supervise,
+    )
+
+    if args.soak:
+        result = run_soak(flows=args.flows, duration=args.duration,
+                          kills=args.kills, seed=args.seed, rate=args.rate,
+                          checkpoint_every=args.checkpoint_every,
+                          idle_ttl=args.idle_ttl,
+                          directory=args.checkpoint_dir)
+        print(format_soak(result))
+        return 0 if result["ok"] else 1
+
+    opts = {"checkpoint_every": args.checkpoint_every,
+            "idle_ttl": args.idle_ttl, "stall_wall": args.stall_wall}
+    try:
+        if args.recover:
+            if args.checkpoint_dir is None:
+                print("repro serve: --recover requires --checkpoint-dir")
+                return 2
+            runner = ServiceRunner.recover(args.checkpoint_dir, **opts)
+            print(f"recovered from checkpoint at t={runner.now:g}s "
+                  f"(recovery #{runner.recoveries})")
+            runner.run_to(runner.now + args.duration)
+        elif args.checkpoint_dir is not None:
+            spec = build_service_spec(flows=args.flows, rate=args.rate,
+                                      duration=args.duration, seed=args.seed)
+            def drive(r):
+                r.run_to(args.duration)
+                return r
+
+            runner, supervisor = supervise(
+                spec, drive, args.checkpoint_dir,
+                max_restarts=args.max_restarts, **opts)
+            if supervisor.restarts:
+                print(f"supervisor: {supervisor.restarts} restart(s): "
+                      f"{supervisor.failures}")
+        else:
+            spec = build_service_spec(flows=args.flows, rate=args.rate,
+                                      duration=args.duration, seed=args.seed)
+            runner = ServiceRunner(spec, **opts)
+            runner.run_to(args.duration)
+    except (ServiceError, CheckpointError) as exc:
+        print(f"repro serve: {exc}")
+        return 1
+    status = runner.status()
+    print(f"repro serve — {status['scheduler']}, cell {status['cell']!r}, "
+          f"t={status['clock']:g}s")
+    print(f"  served {status['rows']} packets "
+          f"({status['arrivals']} arrivals, backlog {status['backlog']})")
+    print(f"  digest: {status['digest']}")
+    print(f"  flows: {status['live_flows']} live / {status['flows']} "
+          f"registered (peak live {status['peak_live_flows']})")
+    print(f"  checkpoints: {status['checkpoints_written']}  "
+          f"commands: {status['commands_applied']}  "
+          f"recoveries: {status['recoveries']}")
+    if status["incidents"]:
+        print(f"  incidents: {status['incidents']}")
+    print(f"  conservation: "
+          f"{'balanced' if status['conservation_balanced'] else 'IMBALANCED'}")
     return 0
 
 
@@ -624,6 +694,11 @@ def build_parser():
                        help="burst-drain chunk per scheduler: an integer "
                             "pins drain_chunk, 'auto' attaches the "
                             "batch-histogram autotuner")
+    from repro.shard.driver import DEFAULT_MAX_RETRIES
+    p_sim.add_argument("--max-retries", type=int, default=DEFAULT_MAX_RETRIES,
+                       metavar="N",
+                       help="re-run a shard whose worker died up to N extra "
+                            "times (exponential backoff) before failing")
     p_sim.add_argument("--migrate-at", type=float, default=None,
                        metavar="T",
                        help="checkpoint one cell at T and resume it in a "
@@ -636,6 +711,44 @@ def build_parser():
     p_sim.add_argument("--json", metavar="OUT.JSON", default=None,
                        help="write the merged report as JSON")
     p_sim.set_defaults(func=_cmd_sim)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run a cell as a crash-tolerant long-lived service with "
+             "checkpoints, recovery, and the kill/recover soak gate")
+    p_serve.add_argument("--flows", type=_positive_int, default=32)
+    p_serve.add_argument("--duration", type=float, default=2.0,
+                         help="simulated seconds to serve this invocation")
+    p_serve.add_argument("--rate", type=float, default=1e6,
+                         help="link rate in bits per second")
+    p_serve.add_argument("--seed", type=int, default=1)
+    p_serve.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                         help="durable checkpoint directory (enables the "
+                              "supervisor); omit for in-memory only")
+    p_serve.add_argument("--checkpoint-every", type=float, default=None,
+                         metavar="T",
+                         help="checkpoint cadence in simulated seconds")
+    p_serve.add_argument("--recover", action="store_true",
+                         help="resume from the newest verifiable checkpoint "
+                              "in --checkpoint-dir instead of starting fresh")
+    p_serve.add_argument("--idle-ttl", type=float, default=None, metavar="T",
+                         help="evict per-flow state idle longer than T "
+                              "simulated seconds (service order unchanged)")
+    p_serve.add_argument("--stall-wall", type=float, default=None,
+                         metavar="S",
+                         help="watchdog: fail if simulated time stalls for "
+                              "S wall seconds")
+    p_serve.add_argument("--max-restarts", type=_positive_int, default=3,
+                         metavar="N",
+                         help="supervisor restart budget (with "
+                              "--checkpoint-dir)")
+    p_serve.add_argument("--soak", action="store_true",
+                         help="run the kill/recover soak harness; exit 1 "
+                              "unless the recovered digest matches the "
+                              "uninterrupted run with zero violations")
+    p_serve.add_argument("--kills", type=_positive_int, default=3,
+                         help="hard kills to inject during --soak")
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_bench = sub.add_parser(
         "bench",

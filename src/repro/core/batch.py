@@ -468,13 +468,19 @@ class VectorWF2QPlus(PacketScheduler):
                 ineligible_push(flow_id, (start, i))
 
     def dequeue_batch(self, n, now=None):
+        # Re-evaluated on *every* call (like the enqueue guard above): an
+        # observer or buffer cap attached mid-run must disengage the
+        # columnar kernel from the next batch onward, and drop-policy
+        # evictions mutate FlowState tags behind the columns' back.
         if (type(self) is VectorWF2QPlus and self._obs is None
+                and not self._buffer_limits and self._shared_limit is None
                 and n >= BATCH_KERNEL_MIN):
             return self._dequeue_chunk(n, None, now, [])
         return PacketScheduler.dequeue_batch(self, n, now)
 
     def drain_until(self, limit, now=None, into=None):
-        if type(self) is VectorWF2QPlus and self._obs is None:
+        if (type(self) is VectorWF2QPlus and self._obs is None
+                and not self._buffer_limits and self._shared_limit is None):
             return self._dequeue_chunk(
                 self.drain_chunk, limit, now, [] if into is None else into)
         return PacketScheduler.drain_until(self, limit, now, into)

@@ -186,6 +186,12 @@ class FIFOScheduler(PacketScheduler):
     # ------------------------------------------------------------------
     # Robustness hooks (eviction / checkpoint)
     # ------------------------------------------------------------------
+    def _evictable_idle(self, state, now):
+        # FIFO keeps no per-flow algorithm state: an idle flow has no
+        # packets in the global order and its (ignored) tags cannot
+        # influence anything, so idle eviction is always exact.
+        return True
+
     def _on_packet_evicted(self, state, packet, index, now):
         # Packets compare by identity, so this removes exactly the victim.
         self._order.remove(packet)

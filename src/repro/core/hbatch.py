@@ -481,13 +481,19 @@ class VectorHWF2QPlus(HPFQScheduler):
     # Batched dequeue: fused RESET-PATH + RESTART chunk kernel
     # ------------------------------------------------------------------
     def dequeue_batch(self, n, now=None):
+        # Re-evaluated on *every* call (like the enqueue guard above): an
+        # observer or buffer cap attached mid-run must disengage the
+        # vector kernel from the next batch onward, and drop-policy
+        # evictions retag leaves behind the staged columns' back.
         if (type(self) is VectorHWF2QPlus and self._obs is None
+                and not self._buffer_limits and self._shared_limit is None
                 and n >= BATCH_KERNEL_MIN):
             return self._dequeue_chunk(n, None, now, [])
         return PacketScheduler.dequeue_batch(self, n, now)
 
     def drain_until(self, limit, now=None, into=None):
-        if type(self) is VectorHWF2QPlus and self._obs is None:
+        if (type(self) is VectorHWF2QPlus and self._obs is None
+                and not self._buffer_limits and self._shared_limit is None):
             return self._dequeue_chunk(
                 self.drain_chunk, limit, now, [] if into is None else into)
         return PacketScheduler.drain_until(self, limit, now, into)

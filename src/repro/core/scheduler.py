@@ -247,6 +247,13 @@ class PacketScheduler:
         self._batch_calls = 0
         self._batch_packets = 0
         self._batch_hist = [0, 0, 0, 0, 0]
+        #: Idle flows whose FlowState was evicted to bound memory:
+        #: flow_id -> {share, name, index}.  Evicted flows stay logically
+        #: registered — their share keeps counting toward ``_total_share``
+        #: and their registration index is preserved — so rate arithmetic
+        #: and tie-breaks are identical to a run that never evicted.  See
+        #: :meth:`evict_idle_flow`.
+        self._evicted = {}
 
     @property
     def rate(self):
@@ -274,7 +281,7 @@ class PacketScheduler:
             config = flow_id
         else:
             config = FlowConfig(flow_id, share, name=name)
-        if config.flow_id in self._flows:
+        if config.flow_id in self._flows or config.flow_id in self._evicted:
             raise DuplicateFlowError(config.flow_id)
         state = FlowState(config, index=self._next_flow_index)
         self._next_flow_index += 1
@@ -286,6 +293,18 @@ class PacketScheduler:
 
     def remove_flow(self, flow_id):
         """Unregister an *idle* flow."""
+        if flow_id in self._evicted:
+            # An evicted flow is idle by construction; unregister it for
+            # real — unlike eviction, removal gives its share back.
+            record = self._evicted.pop(flow_id)
+            self._total_share -= record["share"]
+            if not self._flows and not self._evicted:
+                self._total_share = 0
+            self._share_gen += 1
+            self._buffer_limits.pop(flow_id, None)
+            self._drop_policies.pop(flow_id, None)
+            self._drops_total -= self._drops.pop(flow_id, 0)
+            return
         state = self._flow(flow_id)
         if state.queue:
             raise ConfigurationError(
@@ -294,7 +313,7 @@ class PacketScheduler:
         self._on_flow_removed(state)
         del self._flows[flow_id]
         self._total_share -= state.share
-        if not self._flows:
+        if not self._flows and not self._evicted:
             self._total_share = 0  # kill float residue from +=/-= churn
         self._share_gen += 1
         # Per-flow policy state must not leak to a future flow that happens
@@ -319,6 +338,8 @@ class PacketScheduler:
         :meth:`_on_reconfigured` hook, so eq. (27)'s ``min S_i`` arm and
         the SEFF eligibility classification are unaffected.
         """
+        if flow_id in self._evicted:
+            self._revive(flow_id)
         state = self._flow(flow_id)
         if share <= 0:
             raise ConfigurationError(
@@ -361,11 +382,80 @@ class PacketScheduler:
             raise UnknownFlowError(flow_id) from None
 
     # ------------------------------------------------------------------
+    # Idle-flow eviction (bounded memory for long-lived service runs)
+    # ------------------------------------------------------------------
+    def evict_idle_flow(self, flow_id, now=None):
+        """Drop an idle flow's :class:`FlowState`, keeping it registered.
+
+        Returns True when the state was evicted, False when the scheduler
+        refuses (flow backlogged, already evicted, or the algorithm cannot
+        prove the flow's tags are dead — see :meth:`_evictable_idle`).
+
+        Eviction is *exact*: the flow's share stays in ``_total_share``
+        (other flows' guaranteed rates are untouched), its registration
+        index is preserved (tie-breaks replay identically), and revival on
+        the next arrival rebuilds a zero-tag state that the algorithm's
+        own idle-flow tag rules map to the very tags the retained state
+        would have produced.  Only schedulers that can prove that mapping
+        opt in by overriding :meth:`_evictable_idle`.
+        """
+        state = self._flows.get(flow_id)
+        if state is None:
+            if flow_id in self._evicted:
+                return False
+            raise UnknownFlowError(flow_id)
+        if state.queue:
+            return False
+        if now is None:
+            now = self._clock
+        if not self._evictable_idle(state, now):
+            return False
+        self._evicted[flow_id] = {
+            "share": state.config.share,
+            "name": state.config.name,
+            "index": state.index,
+        }
+        del self._flows[flow_id]
+        return True
+
+    def _evictable_idle(self, state, now):
+        """Hook: may this idle flow's state be discarded without changing
+        any future service order?  Default False — only algorithms whose
+        idle-flow tag rules make a zero-tag revival provably equivalent
+        (WF2Q+'s ``S = max(F, V)``, FIFO's statelessness) opt in.
+        """
+        return False
+
+    def _revive(self, flow_id):
+        """Rebuild the FlowState of an evicted flow on its next arrival.
+
+        The revived state is the canonical fresh-flow state (zero tags,
+        stale tag epoch) with the *original* registration index and share;
+        :meth:`_evictable_idle` guaranteed at eviction time that this is
+        indistinguishable from the retained state.
+        """
+        record = self._evicted.pop(flow_id, None)
+        if record is None:
+            raise UnknownFlowError(flow_id)
+        config = FlowConfig(flow_id, record["share"], name=record["name"])
+        state = FlowState(config, index=record["index"])
+        self._flows[flow_id] = state
+        return state
+
+    @property
+    def evicted_flow_ids(self):
+        """Flow ids whose FlowState is currently evicted."""
+        return list(self._evicted)
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
     def flow_ids(self):
-        return list(self._flows)
+        ids = list(self._flows)
+        if self._evicted:
+            ids.extend(self._evicted)  # evicted flows stay registered
+        return ids
 
     @property
     def backlog(self):
@@ -392,9 +482,13 @@ class PacketScheduler:
 
     def queue_length(self, flow_id):
         """Queued packet count for one flow."""
+        if flow_id in self._evicted:
+            return 0  # evicted flows are idle by construction
         return len(self._flow(flow_id).queue)
 
     def queued_bits(self, flow_id):
+        if flow_id in self._evicted:
+            return 0
         return self._flow(flow_id).bits_queued
 
     def backlogged_flows(self):
@@ -419,10 +513,16 @@ class PacketScheduler:
 
     def guaranteed_rate(self, flow_id):
         """Absolute guaranteed rate r_i = share_i / total_share * rate."""
+        record = self._evicted.get(flow_id)
+        if record is not None:
+            return record["share"] / self._total_share * self._rate
         state = self._require_shares(flow_id)
         return state.share / self._total_share * self._rate
 
     def normalized_share(self, flow_id):
+        record = self._evicted.get(flow_id)
+        if record is not None:
+            return record["share"] / self._total_share
         state = self._require_shares(flow_id)
         return state.share / self._total_share
 
@@ -682,7 +782,14 @@ class PacketScheduler:
         best_len = 0
         for flow_state in self._flows.values():
             qlen = len(flow_state.queue)
-            if qlen > best_len:
+            # Registration order (index) breaks ties explicitly: after an
+            # evict/revive cycle the dict's iteration order no longer
+            # matches registration order, and the victim choice must not
+            # depend on eviction history.
+            if qlen > best_len or (
+                qlen == best_len and best is not None
+                and flow_state.index < best[0].index
+            ):
                 index = self._evictable_tail_index(flow_state)
                 if index is not None:
                     best = (flow_state, index)
@@ -719,7 +826,11 @@ class PacketScheduler:
         flow_id = packet.flow_id
         state = self._flows.get(flow_id)
         if state is None:
-            raise UnknownFlowError(flow_id)
+            # Evicted flows resurrect on arrival (raises UnknownFlowError
+            # for flows that were never registered).  The batch kernels
+            # fall back to this per-packet path for any unknown flow, so
+            # revival is inherited everywhere at zero hot-path cost.
+            state = self._revive(flow_id)
         length = packet.length
         # Inline fast path for the common length types; anything unusual
         # (bool, NaN/inf, non-numeric, exotic Real types) takes the slow
@@ -1060,6 +1171,7 @@ class PacketScheduler:
             "batch_packets": self._batch_packets,
             "batch_hist": list(self._batch_hist),
             "flows": flows,
+            "evicted": {fid: dict(rec) for fid, rec in self._evicted.items()},
             "extra": self._snapshot_extra(),
         }
 
@@ -1076,14 +1188,38 @@ class PacketScheduler:
                 f"cannot restore into {self.name!r}"
             )
         flows_snap = snap["flows"]
-        if set(flows_snap) != set(self._flows):
-            missing = set(flows_snap) ^ set(self._flows)
+        evicted_snap = snap.get("evicted") or {}
+        # Realign this scheduler's live/evicted split with the snapshot's
+        # before the per-flow restore: a freshly built scheduler has every
+        # flow live, while the snapshot may have evicted some (and vice
+        # versa after in-process rollback).
+        for fid in list(self._evicted):
+            if fid in flows_snap:
+                self._revive(fid)
+        for fid in evicted_snap:
+            state = self._flows.pop(fid, None)
+            if state is not None:
+                self._evicted[fid] = {
+                    "share": state.config.share,
+                    "name": state.config.name,
+                    "index": state.index,
+                }
+        if set(flows_snap) != set(self._flows) \
+                or set(evicted_snap) != set(self._evicted):
+            missing = (set(flows_snap) | set(evicted_snap)) \
+                ^ (set(self._flows) | set(self._evicted))
             raise ConfigurationError(
                 f"{self.name}: snapshot flow set does not match this "
                 f"scheduler (mismatched: {sorted(map(repr, missing))})"
             )
+        # The snapshot's records are authoritative (index/share may have
+        # drifted through set_share while evicted is impossible — set_share
+        # revives — but a rebuilt scheduler's records are fresh guesses).
+        self._evicted = {fid: dict(rec) for fid, rec in evicted_snap.items()}
         uid_map = {}
         total_share = 0
+        for rec in evicted_snap.values():
+            total_share += rec["share"]
         for flow_id, state in self._flows.items():
             fs = flows_snap[flow_id]
             if state.index != fs["index"]:

@@ -388,6 +388,33 @@ class WF2QPlusScheduler(PacketScheduler):
             if state.flow_id in eligible.pos:
                 eligible.update(state.flow_id, (finish, state.index))
 
+    def _evictable_idle(self, state, now):
+        """An idle WF2Q+ flow's state is dead weight once its tags can no
+        longer influence eq. (28)'s ``S = max(F, V)``.
+
+        Two provably safe cases:
+
+        * the tag epoch is stale — the lazy busy-period reset would zero
+          the tags on the next read anyway, exactly what a revived state
+          carries;
+        * ``F <= V``: V is non-decreasing within a busy-period epoch, so
+          at any later arrival ``max(F, V) = V = max(0, V)`` — the revived
+          zero-tag state produces the identical start tag.  ``_virtual``
+          at its stamp is a valid lower bound for every future V in this
+          epoch (the clock may lag the stamp after a chunked drain, so the
+          elapsed-time term is only added when non-negative).
+
+        An idle flow sits in none of the three heaps (they hold only
+        backlogged flows), so no heap surgery is needed.
+        """
+        if state.tag_epoch != self._tag_epoch:
+            return True
+        v = self._virtual
+        tau = now - self._virtual_stamp
+        if tau > 0:
+            v = v + tau
+        return state.finish_tag <= v
+
     def _on_packet_evicted(self, state, packet, index, now):
         if index != 0:
             return  # only the head packet carries tags

@@ -15,6 +15,11 @@ __all__ = [
     "InvariantViolation",
     "HierarchyError",
     "SimulationError",
+    "CheckpointError",
+    "WorkerError",
+    "ServiceError",
+    "ServiceCrash",
+    "ServiceStall",
 ]
 
 
@@ -89,3 +94,62 @@ class HierarchyError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
+
+
+class CheckpointError(ReproError):
+    """A persisted checkpoint could not be written or read back.
+
+    Covers truncated or corrupt files (bad magic, length or digest
+    mismatch) and format-version mismatches.  ``path`` locates the file,
+    ``reason`` is a stable machine-checkable slug (``"magic"``,
+    ``"version"``, ``"truncated"``, ``"digest"``, ``"unpickle"``).
+    """
+
+    def __init__(self, path, reason, message):
+        super().__init__(path, reason, message)
+        self.path = path
+        self.reason = reason
+        self.message = message
+
+    def __str__(self):
+        return f"checkpoint {self.path}: [{self.reason}] {self.message}"
+
+
+class WorkerError(ReproError):
+    """Shard workers died and exhausted their retry budget.
+
+    ``failures`` maps shard id -> human-readable cause of the *last*
+    failed attempt, so the driver reports exactly which cells failed
+    instead of surfacing an opaque pool error.
+    """
+
+    def __init__(self, failures):
+        super().__init__(failures)
+        self.failures = dict(failures)
+
+    def __str__(self):
+        cells = ", ".join(
+            f"shard {sid}: {cause}" for sid, cause in sorted(self.failures.items())
+        )
+        return f"shard workers failed after retries ({cells})"
+
+
+class ServiceError(ReproError):
+    """Base class for long-lived service-mode (``repro serve``) errors."""
+
+
+class ServiceCrash(ServiceError):
+    """The service run raised; the supervisor may restart from a
+    checkpoint.  ``cause`` holds the original exception."""
+
+    def __init__(self, cause):
+        super().__init__(cause)
+        self.cause = cause
+
+    def __str__(self):
+        return f"service crashed: {self.cause!r}"
+
+
+class ServiceStall(ServiceError):
+    """The watchdog saw no simulated-time progress within its wall-clock
+    budget."""

@@ -22,7 +22,15 @@ from repro.faults.chaos import (
     run_all,
     run_chaos,
 )
-from repro.faults.checkpoint import checkpoint, rollback
+from repro.faults.checkpoint import (
+    CHECKPOINT_MAGIC,
+    CHECKPOINT_VERSION,
+    CheckpointStore,
+    checkpoint,
+    load_checkpoint,
+    rollback,
+    save_checkpoint,
+)
 from repro.faults.plan import FaultAction, FaultInjector, FaultPlan
 
 __all__ = [
@@ -36,4 +44,9 @@ __all__ = [
     "run_all",
     "checkpoint",
     "rollback",
+    "save_checkpoint",
+    "load_checkpoint",
+    "CheckpointStore",
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_VERSION",
 ]

@@ -33,6 +33,7 @@ from repro.obs.events import (
     EnqueueEvent,
     EventBus,
     FaultEvent,
+    IncidentEvent,
     NodeRestart,
     SchedulerEvent,
     VirtualTimeUpdate,
@@ -65,6 +66,7 @@ __all__ = [
     "VirtualTimeUpdate",
     "NodeRestart",
     "FaultEvent",
+    "IncidentEvent",
     "EventBus",
     "event_from_dict",
     "Sink",

@@ -36,6 +36,7 @@ __all__ = [
     "VirtualTimeUpdate",
     "NodeRestart",
     "FaultEvent",
+    "IncidentEvent",
     "EventBus",
     "event_from_dict",
     "EVENT_KINDS",
@@ -200,6 +201,30 @@ class FaultEvent(SchedulerEvent):
         self.value = value
 
 
+class IncidentEvent(SchedulerEvent):
+    """The service layer degraded gracefully instead of crashing.
+
+    Emitted by :mod:`repro.serve` when something went wrong but the run
+    kept going: ``category`` is a stable slug (``"quarantine"``,
+    ``"stall"``, ``"crash-recovered"``, ``"checkpoint-skipped"``),
+    ``target`` the affected entity (a flow/node name, a checkpoint path;
+    None for run-wide incidents) and ``detail`` a human-readable
+    explanation.  Unlike :class:`FaultEvent` (a *planned* perturbation an
+    experiment injected), an incident is unplanned — dashboards and soak
+    gates count them.
+    """
+
+    kind = "incident"
+    _fields = ("time", "scheduler", "category", "target", "detail")
+    __slots__ = ("category", "target", "detail")
+
+    def __init__(self, time, scheduler, category, target=None, detail=None):
+        super().__init__(time, scheduler)
+        self.category = category
+        self.target = target
+        self.detail = detail
+
+
 class VirtualTimeUpdate(SchedulerEvent):
     """A virtual clock advanced (or legitimately reset to zero).
 
@@ -254,7 +279,7 @@ class NodeRestart(SchedulerEvent):
 EVENT_KINDS = {
     cls.kind: cls
     for cls in (EnqueueEvent, DequeueEvent, DropEvent, VirtualTimeUpdate,
-                NodeRestart, FaultEvent)
+                NodeRestart, FaultEvent, IncidentEvent)
 }
 
 

@@ -1,0 +1,30 @@
+"""repro.serve — crash-tolerant long-lived service mode.
+
+Three pieces:
+
+* :mod:`repro.serve.runner` — :class:`ServiceRunner`: one scheduling
+  cell run as a service with streaming ingest, live metric snapshots,
+  mid-run reconfiguration commands, durable atomic checkpoints,
+  invariant-violation quarantine, idle-flow eviction, and a stall
+  watchdog; :class:`DigestTrace` is the constant-memory chained service
+  digest that makes recovery exactness checkable.
+* :mod:`repro.serve.supervisor` — :class:`Supervisor` /
+  :func:`supervise`: bounded-retry restarts from the latest good
+  checkpoint with exponential backoff.
+* :mod:`repro.serve.soak` — the kill/recover soak harness behind
+  ``python -m repro serve --soak`` and CI's ``soak-smoke`` gate.
+"""
+
+from repro.serve.runner import DigestTrace, ServiceRunner
+from repro.serve.soak import build_service_spec, format_soak, run_soak
+from repro.serve.supervisor import Supervisor, supervise
+
+__all__ = [
+    "ServiceRunner",
+    "DigestTrace",
+    "Supervisor",
+    "supervise",
+    "run_soak",
+    "build_service_spec",
+    "format_soak",
+]

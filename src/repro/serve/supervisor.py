@@ -1,0 +1,103 @@
+"""The service supervisor: bounded restarts from the latest checkpoint.
+
+A :class:`Supervisor` owns two factories — ``start`` (build a fresh
+:class:`~repro.serve.runner.ServiceRunner`) and ``recover`` (rebuild one
+from the checkpoint directory) — and drives a caller-supplied ``work``
+function against whichever runner is current.  When ``work`` raises
+(an injected kill, a :class:`~repro.errors.ServiceStall` from the
+watchdog, an escalated :class:`~repro.errors.ServiceCrash`), the
+supervisor sleeps an exponential backoff, recovers a new runner from the
+newest verifiable checkpoint, and calls ``work`` again; ``work``
+therefore must be *progress-aware* — it reads ``runner.now`` and drives
+from wherever the recovered clock stands, never from a remembered
+position.  After ``max_restarts`` failed recoveries the last cause is
+re-raised wrapped in :class:`~repro.errors.ServiceCrash`.
+
+``sleep`` is injectable so tests assert the backoff schedule without
+waiting; :func:`supervise` is the one-call convenience wrapper the soak
+harness and the CLI use.
+"""
+
+import time
+
+from repro.errors import ServiceCrash
+from repro.serve.runner import ServiceRunner
+
+__all__ = ["Supervisor", "supervise"]
+
+#: Default restart budget: recoveries per supervised run, not per incident
+#: type — every distinct failure draws from the same pool.
+DEFAULT_MAX_RESTARTS = 3
+
+
+class Supervisor:
+    """Restart a crashing service from checkpoints, with bounded retries.
+
+    Parameters
+    ----------
+    start:
+        Zero-argument factory for the initial runner.
+    recover:
+        Zero-argument factory rebuilding a runner from the latest good
+        checkpoint (typically ``ServiceRunner.recover`` partially
+        applied).
+    max_restarts:
+        Recoveries allowed before giving up.
+    backoff:
+        First retry delay in seconds; doubles per restart
+        (``backoff * 2**(restart-1)``).
+    sleep:
+        Injectable sleep (defaults to :func:`time.sleep`).
+    """
+
+    def __init__(self, start, recover, *, max_restarts=DEFAULT_MAX_RESTARTS,
+                 backoff=0.05, sleep=None):
+        self._start = start
+        self._recover = recover
+        self.max_restarts = max_restarts
+        self.backoff = backoff
+        self._sleep = sleep if sleep is not None else time.sleep
+        self.restarts = 0
+        #: Stringified cause of every failure, in order.
+        self.failures = []
+
+    def run(self, work):
+        """Drive ``work(runner)`` to completion across crashes.
+
+        Returns whatever ``work`` returns.  ``BaseException``s that are
+        not ``Exception`` (KeyboardInterrupt and friends) pass through
+        untouched.
+        """
+        runner = self._start()
+        while True:
+            try:
+                return work(runner)
+            except Exception as exc:
+                self.failures.append(f"{type(exc).__name__}: {exc}")
+                if self.restarts >= self.max_restarts:
+                    raise ServiceCrash(exc) from exc
+                self.restarts += 1
+                self._sleep(self.backoff * (2 ** (self.restarts - 1)))
+                runner = self._recover()
+
+    def __repr__(self):
+        return (f"Supervisor(restarts={self.restarts}/"
+                f"{self.max_restarts})")
+
+
+def supervise(spec, work, checkpoint_dir, *,
+              max_restarts=DEFAULT_MAX_RESTARTS, backoff=0.05, sleep=None,
+              **runner_opts):
+    """Run ``work`` under a supervisor; returns ``(result, supervisor)``.
+
+    ``runner_opts`` (``checkpoint_every``, ``idle_ttl``, ``stall_wall``,
+    ``check``, ...) configure both the fresh and every recovered runner.
+    The first runner is built fresh from ``spec``; recoveries come from
+    ``checkpoint_dir`` via :meth:`ServiceRunner.recover`.
+    """
+    supervisor = Supervisor(
+        lambda: ServiceRunner(spec, checkpoint_dir=checkpoint_dir,
+                              **runner_opts),
+        lambda: ServiceRunner.recover(checkpoint_dir, **runner_opts),
+        max_restarts=max_restarts, backoff=backoff, sleep=sleep)
+    return supervisor.run(work), supervisor

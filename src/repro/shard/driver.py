@@ -16,9 +16,11 @@ migration differential test pins down.
 """
 
 import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
 from time import perf_counter
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, WorkerError
 from repro.shard.merge import assemble_report
 from repro.shard.partition import assign_shards
 from repro.shard.scenarios import build_scenario
@@ -34,6 +36,64 @@ __all__ = ["run_sharded"]
 #: Spawn never inherits accidental parent state; tests override with
 #: ``fork`` for start-up speed.
 _DEFAULT_START = "spawn"
+
+#: Default retry budget per shard (``--max-retries``): a worker that dies
+#: — non-zero exit, killed, or an exception that pickles back — is re-run
+#: up to this many extra times with exponential backoff before the driver
+#: reports the failed cells.
+DEFAULT_MAX_RETRIES = 2
+
+
+def _run_jobs(ctx, jobs, duration, max_retries, backoff, absorb, sleep=None):
+    """Fan ``(shard, specs)`` jobs out to worker processes with retries.
+
+    Built on :class:`ProcessPoolExecutor`, which *detects* an abruptly
+    dead worker (``multiprocessing.Pool`` hangs forever on one): the
+    victim's future raises ``BrokenProcessPool``, and a raised-in-worker
+    exception pickles back as itself.  A wave that loses workers gets a
+    fresh executor for its retries (a broken pool is unusable), after
+    ``backoff * 2**attempt`` seconds.  Returns ``(results, failures)``
+    where ``failures`` maps shard id -> cause of the last failed attempt;
+    shards that eventually succeeded appear only in ``results``.
+    """
+    if sleep is None:
+        sleep = time.sleep
+    results = {}
+    pending = list(jobs)
+    attempt = 0
+    failures = {}
+    while pending:
+        if attempt > 0:
+            sleep(backoff * (2 ** (attempt - 1)))
+        failed = []
+        failures = {}
+        with ProcessPoolExecutor(max_workers=max(1, len(pending)),
+                                 mp_context=ctx) as pool:
+            futures = [
+                (shard, specs,
+                 pool.submit(run_shard, (shard, specs, duration, attempt)))
+                for shard, specs in pending
+            ]
+            # Merge by dict update, keyed on stable cell ids: completion
+            # order cannot matter (the old imap_unordered kept that
+            # honest; here result() order is submission order, and the
+            # differential suite still pins digest equality).
+            for shard, specs, future in futures:
+                try:
+                    shard_out = future.result()
+                except Exception as exc:  # worker died or raised
+                    failed.append((shard, specs))
+                    failures[shard] = f"{type(exc).__name__}: {exc}"
+                else:
+                    results.update(shard_out["results"])
+                    absorb(shard_out["sim"])
+        if not failed:
+            return results, {}
+        if attempt >= max_retries:
+            return results, failures
+        pending = failed
+        attempt += 1
+    return results, failures
 
 
 def _resolve(scenario, duration, params):
@@ -71,13 +131,21 @@ def _split_migration(cells, migrate):
 
 
 def run_sharded(scenario="cbr_flat", shards=1, duration=None, migrate=None,
-                mp_context=None, **params):
+                mp_context=None, max_retries=DEFAULT_MAX_RETRIES,
+                retry_backoff=0.05, strict=True, **params):
     """Run a scenario across ``shards`` workers; returns the merged report.
 
     ``scenario`` is a registered name (params like ``flows``/``cells``/
     ``rate``/``seed`` pass through to the builder) or a prebuilt
     ``{"name", "duration", "cells"}`` dict.  ``migrate`` is
     ``{"cell": id, "at": t}`` with ``0 < t < duration``.
+
+    Worker failures: each shard whose worker dies or raises is retried up
+    to ``max_retries`` times (exponential backoff starting at
+    ``retry_backoff`` seconds).  With the budget exhausted, ``strict=True``
+    raises :class:`~repro.errors.WorkerError` naming the failed cells;
+    ``strict=False`` returns the partial report with a ``"failures"``
+    section instead.
     """
     name, duration, cells = _resolve(scenario, duration, params)
     plan = assign_shards(cells, shards)
@@ -97,6 +165,7 @@ def run_sharded(scenario="cbr_flat", shards=1, duration=None, migrate=None,
 
     t0 = perf_counter()
     results = {}
+    failures = {}
     if shards <= 1:
         if rest:
             cell_results, stats = run_cells(rest, duration)
@@ -117,29 +186,39 @@ def run_sharded(scenario="cbr_flat", shards=1, duration=None, migrate=None,
                                 []).append(spec)
         jobs = [(shard, specs) for shard, specs in sorted(by_shard.items())]
         ctx = multiprocessing.get_context(mp_context or _DEFAULT_START)
-        with ctx.Pool(processes=max(1, len(jobs))) as pool:
-            async_ckpt = None
-            if migrating is not None:
-                async_ckpt = pool.apply_async(
-                    checkpoint_cell, (migrating, migrate["at"]))
-            # imap_unordered on purpose: the merge must not depend on
-            # completion order, and this keeps it honest.
-            for shard_out in pool.imap_unordered(
-                    run_shard,
-                    [(shard, specs, duration) for shard, specs in jobs]):
-                results.update(shard_out["results"])
-                absorb(shard_out["sim"])
-            ckpt = async_ckpt.get() if async_ckpt is not None else None
+        shard_results, failures = _run_jobs(
+            ctx, jobs, duration, max_retries, retry_backoff, absorb)
+        results.update(shard_results)
         if migrating is not None:
-            # A dedicated one-worker pool: the resume provably happens in
-            # a process that never saw the first segment.
-            with ctx.Pool(processes=1) as fresh:
-                resumed = fresh.apply(resume_cell,
-                                      (migrating, ckpt, duration))
+            # Checkpoint in one pool worker, resume in *another*: the
+            # checkpoint provably crosses a process boundary into a
+            # worker that never saw the first segment.
+            with ProcessPoolExecutor(max_workers=1, mp_context=ctx) as pool:
+                ckpt = pool.submit(
+                    checkpoint_cell, migrating, migrate["at"]).result()
+            with ProcessPoolExecutor(max_workers=1, mp_context=ctx) as fresh:
+                resumed = fresh.submit(
+                    resume_cell, migrating, ckpt, duration).result()
             results[migrating["cell"]] = resumed["result"]
             absorb(resumed["sim"])
+    if failures and strict:
+        raise WorkerError(failures)
     wall = perf_counter() - t0
     migrated = (None if migrating is None
                 else {"cell": migrating["cell"], "at": migrate["at"]})
-    return assemble_report(name, duration, results, plan, sim_stats, wall,
-                           migrated=migrated)
+    report = assemble_report(name, duration, results, plan, sim_stats, wall,
+                             migrated=migrated)
+    if failures:
+        # Non-strict mode: name exactly which shards/cells are missing so
+        # a caller can re-plan them instead of diffing the cell map.
+        assignment = plan["assignment"]
+        report["failures"] = {
+            str(shard): {
+                "cause": cause,
+                "cells": sorted(str(cid) for cid, s in assignment.items()
+                                if s == shard and str(cid) not in
+                                {str(k) for k in results}),
+            }
+            for shard, cause in sorted(failures.items())
+        }
+    return report

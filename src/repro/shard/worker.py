@@ -356,10 +356,38 @@ def run_cells(specs, duration):
 
 
 def run_shard(job):
-    """Pool entry point: ``(shard_id, [cell specs], duration)``."""
-    shard_id, specs, duration = job
+    """Pool entry point: ``(shard_id, [cell specs], duration[, attempt])``.
+
+    ``attempt`` (default 0) is the driver's retry counter; it feeds the
+    deterministic crash injection below and nothing else, so legacy
+    3-tuple jobs behave identically.
+    """
+    shard_id, specs, duration, *rest = job
+    attempt = rest[0] if rest else 0
+    _maybe_fail(shard_id, specs, attempt)
     results, stats = run_cells(specs, duration)
     return {"shard": shard_id, "results": results, "sim": stats}
+
+
+def _maybe_fail(shard_id, specs, attempt):
+    """Deterministic worker-crash injection for retry tests and soak runs.
+
+    A cell spec may carry ``"fail": {"mode": "exit"|"raise", "attempts": k}``
+    — the worker dies (hard process exit, or a pickled exception) while
+    ``attempt < k``, then succeeds, so the driver's retry/backoff logic is
+    testable without real flakiness.  Production specs never set the key.
+    """
+    for spec in specs:
+        fail = spec.get("fail")
+        if not fail or attempt >= int(fail.get("attempts", 1)):
+            continue
+        if fail.get("mode", "raise") == "exit":
+            import os
+
+            os._exit(17)
+        raise RuntimeError(
+            f"injected worker failure: shard {shard_id!r}, "
+            f"attempt {attempt}")
 
 
 # ----------------------------------------------------------------------

@@ -335,6 +335,64 @@ class Simulator:
             self._now = until
         return self._now
 
+    def run_guarded(self, until, max_wall=None, check_every=1024,
+                    wall_clock=None):
+        """Like :meth:`run(until=...)`, but with a wall-clock stall guard.
+
+        Every ``check_every`` processed events the guard compares wall
+        time against ``max_wall`` seconds; if the budget is exhausted the
+        loop aborts and returns ``False`` *without* snapping the clock to
+        ``until`` (unlike :meth:`run`, which advances to the horizon even
+        when it exits early) — the caller needs the true progress point to
+        decide whether simulated time is advancing at all.  Returns
+        ``True`` when the horizon was reached (queue drained or overtaken,
+        clock snapped to ``until``).
+
+        ``wall_clock`` is injectable (defaults to ``time.monotonic``) so
+        stall detection is testable without real waiting.  The guarded
+        loop never enables inline elision: a stalled component could
+        otherwise hide arbitrarily many advances between budget checks.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        if wall_clock is None:
+            import time as _time
+
+            wall_clock = _time.monotonic
+        deadline = None if max_wall is None else wall_clock() + max_wall
+        self._running = True
+        self._run_until = until
+        queue = self._queue
+        processed = 0
+        completed = True
+        try:
+            while queue:
+                entry = queue[0]
+                if until is not None and entry[0] > until:
+                    break
+                heappop(queue)
+                event = entry[3]
+                if event.cancelled:
+                    self._cancelled -= 1
+                    continue
+                event.sim = None  # fired: a late cancel() is a no-op
+                self._now = entry[0]
+                event.callback(*event.args)
+                processed += 1
+                if self.event_hook is not None:
+                    self.event_hook(event)
+                if (deadline is not None and processed % check_every == 0
+                        and wall_clock() > deadline):
+                    completed = False
+                    break
+        finally:
+            self._running = False
+            self._run_until = None
+            self._processed += processed
+        if completed and until is not None and self._now < until:
+            self._now = until
+        return completed
+
     def step(self):
         """Process exactly one (non-cancelled) event; returns it or None."""
         while self._queue:

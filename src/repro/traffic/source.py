@@ -547,15 +547,20 @@ class TraceSource(Source):
                 for packet in batch:
                     self.link.send(packet)
         if i < n:
-            self.sim.schedule(entries[i][0], self._emit)
+            # Keep the handle: snapshot() needs the pending emission time
+            # to make the trace stream resumable after a checkpoint.
+            self._pending = self.sim.schedule(entries[i][0], self._emit)
 
     def next_gap(self):  # pragma: no cover - _emit is overridden
         return None
 
-    def snapshot(self):
-        raise NotImplementedError(
-            "TraceSource does not support checkpointing (its emission loop "
-            "is clock-batched); replay the trace from the start instead")
+    def _snapshot_extra(self):
+        # The trace itself is configuration (rebuilt by the constructor);
+        # only the cursor is emission state.
+        return {"next": self._next}
+
+    def _restore_extra(self, extra):
+        self._next = extra["next"]
 
 
 class ShapedSource(Source):

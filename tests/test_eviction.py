@@ -1,0 +1,189 @@
+"""Idle-flow eviction: bounded memory with provably unchanged service.
+
+``PacketScheduler.evict_idle_flow`` may drop a long-idle flow's
+FlowState only when the algorithm itself proves the revival-on-arrival
+state is indistinguishable (WF2Q+: stale tag epoch, or ``F <= V`` so
+eq. (28)'s ``S = max(F, V)`` collapses to ``V`` either way).  These
+tests pin the exactness claim under Fraction arithmetic — every tag and
+service decision byte-identical with and without eviction — plus the
+bookkeeping contract (shares retained, indices preserved, registration
+visible) and the bounded-live-flows property on a churn workload through
+the service runner.
+"""
+
+from fractions import Fraction as Fr
+
+import pytest
+
+from repro.core.packet import Packet
+from repro.core.wf2qplus import WF2QPlusScheduler
+from repro.errors import DuplicateFlowError, UnknownFlowError
+from repro.serve import ServiceRunner, build_service_spec
+
+
+def make(shares, rate=Fr(3)):
+    s = WF2QPlusScheduler(rate)
+    for fid, share in shares.items():
+        s.add_flow(fid, share)
+    return s
+
+
+def churn(sched, evict=False):
+    """A deterministic enqueue/dequeue script with an idle window for
+    flow ``a``; optionally evicts ``a`` at a provably legal point.  Returns the
+    full served sequence with exact tags."""
+    served = []
+
+    def drain(n, now=None):
+        for _ in range(n):
+            rec = sched.dequeue(now)
+            served.append((rec.packet.flow_id, rec.packet.seqno,
+                           rec.start_time, rec.finish_time,
+                           rec.virtual_start, rec.virtual_finish))
+            now = None
+
+    for i in range(3):
+        sched.enqueue(Packet("a", Fr(3), seqno=i), now=Fr(0))
+        sched.enqueue(Packet("b", Fr(3), seqno=i), now=Fr(0))
+    for i in range(10):
+        sched.enqueue(Packet("b", Fr(3), seqno=100 + i), now=Fr(0))
+    # After 10 dequeues a's backlog is long drained and V has overtaken
+    # F_a = 12, so its tags can no longer shape eq. (28): evictable.
+    drain(10, now=Fr(0))
+    if evict:
+        assert sched.evict_idle_flow("a", now=sched.clock) is True
+    for i in range(4):
+        sched.enqueue(Packet("c", Fr(3), seqno=10 + i), now=sched.clock)
+    drain(5)
+    # a returns mid-busy-period: revival tags must match retained ones.
+    sched.enqueue(Packet("a", Fr(3), seqno=99), now=sched.clock)
+    drain(6)
+    return served
+
+
+class TestExactness:
+    def test_service_identical_with_and_without_eviction(self):
+        shares = {"a": Fr(1), "b": Fr(2), "c": Fr(1)}
+        control = churn(make(shares), evict=False)
+        evicted = churn(make(shares), evict=True)
+        assert control == evicted  # tags, order, times: all Fraction-exact
+
+    def test_revived_state_keeps_index_and_share(self):
+        s = make({"a": Fr(1), "b": Fr(1)})
+        s.enqueue(Packet("a", Fr(1)), now=Fr(0))
+        s.dequeue()
+        index = None
+        for fid, st in s._flows.items():
+            if fid == "a":
+                index = st.index
+        assert s.evict_idle_flow("a", now=Fr(5))
+        total = s._total_share
+        s.enqueue(Packet("a", Fr(1)), now=Fr(5))  # revive on arrival
+        assert s._flows["a"].index == index
+        assert s._flows["a"].config.share == Fr(1)
+        assert s._total_share == total  # share never left the pool
+
+
+class TestContract:
+    def test_refuses_backlogged_flow(self):
+        s = make({"a": 1, "b": 1})
+        s.enqueue(Packet("a", Fr(1)), now=Fr(0))
+        assert s.evict_idle_flow("a") is False
+
+    def test_unknown_flow_raises(self):
+        s = make({"a": 1})
+        with pytest.raises(UnknownFlowError):
+            s.evict_idle_flow("ghost")
+
+    def test_double_evict_returns_false(self):
+        s = make({"a": 1, "b": 1})
+        assert s.evict_idle_flow("a") is True
+        assert s.evict_idle_flow("a") is False
+
+    def test_evicted_flow_stays_registered(self):
+        s = make({"a": 1, "b": 1})
+        s.evict_idle_flow("a")
+        assert "a" in s.flow_ids
+        assert s.evicted_flow_ids == ["a"]
+        assert s.queue_length("a") == 0
+        assert s.guaranteed_rate("a") == s.guaranteed_rate("b")
+        with pytest.raises(DuplicateFlowError):
+            s.add_flow("a", 1)
+
+    def test_remove_evicted_flow_returns_share(self):
+        s = make({"a": Fr(1), "b": Fr(1)})
+        s.evict_idle_flow("a")
+        s.remove_flow("a")
+        assert "a" not in s.flow_ids
+        assert s._total_share == Fr(1)
+
+    def test_set_share_revives(self):
+        s = make({"a": Fr(1), "b": Fr(1)})
+        s.evict_idle_flow("a")
+        s.set_share("a", Fr(5))
+        assert "a" not in s.evicted_flow_ids
+        assert s._flows["a"].config.share == Fr(5)
+        assert s._total_share == Fr(6)
+
+    def test_fresh_flow_not_evictable_before_any_service(self):
+        """A never-served flow has stale-epoch zero tags — evictable."""
+        s = make({"a": 1, "b": 1})
+        s.enqueue(Packet("b", Fr(1)), now=Fr(0))
+        s.dequeue()
+        assert s.evict_idle_flow("a", now=Fr(1)) is True
+
+    def test_snapshot_restore_preserves_evictions(self):
+        s = make({"a": Fr(1), "b": Fr(1)})
+        s.enqueue(Packet("a", Fr(1)), now=Fr(0))
+        s.enqueue(Packet("b", Fr(1)), now=Fr(0))
+        s.dequeue(); s.dequeue()
+        assert s.evict_idle_flow("a", now=Fr(4))
+        snap = s.snapshot()
+        t = make({"a": Fr(1), "b": Fr(1)})
+        t.restore(snap)
+        assert t.evicted_flow_ids == ["a"]
+        t.enqueue(Packet("a", Fr(1)), now=Fr(4))
+        s.enqueue(Packet("a", Fr(1)), now=Fr(4))
+        rs, rt = s.dequeue(), t.dequeue()
+        assert (rs.packet.flow_id, rs.virtual_start, rs.virtual_finish) \
+            == (rt.packet.flow_id, rt.virtual_start, rt.virtual_finish)
+
+
+class TestServiceChurn:
+    def test_bounded_live_flows_and_unchanged_digest(self):
+        """Flow churn through the service runner: with a TTL the peak
+        live-flow count stays near one wave while the digest — the full
+        served schedule — is byte-identical to the no-eviction run."""
+        spec = build_service_spec(flows=96, rate=1e6, duration=1.0,
+                                  seed=13, waves=8)
+        plain = ServiceRunner(spec)
+        plain.run_to(1.0)
+
+        lean = ServiceRunner(spec, idle_ttl=0.1)
+        lean.run_to(1.0)
+
+        assert lean.digest == plain.digest
+        assert lean.trace.rows == plain.trace.rows > 0
+        # 8 waves of 12 flows: idle waves age out, so the lean peak sits
+        # far below the registered-flow count (the plain runner keeps
+        # every FlowState live forever).
+        assert plain.peak_live_flows == 96
+        assert lean.peak_live_flows <= 40
+        assert len(lean.link.scheduler.evicted_flow_ids) > 0
+        assert lean.link.scheduler.conservation()["balanced"]
+
+    def test_eviction_survives_checkpoint_recovery(self, tmp_path):
+        spec = build_service_spec(flows=32, rate=1e6, duration=0.6,
+                                  seed=13, waves=4)
+        plain = ServiceRunner(spec, idle_ttl=0.08)
+        plain.run_to(0.6)
+
+        victim = ServiceRunner(spec, idle_ttl=0.08, checkpoint_dir=tmp_path,
+                               checkpoint_every=0.05)
+        victim.run_to(0.33)
+        assert victim.link.scheduler.evicted_flow_ids  # cut mid-churn
+        del victim
+        survivor = ServiceRunner.recover(tmp_path, idle_ttl=0.08,
+                                         checkpoint_every=0.05)
+        survivor.run_to(0.6)
+        assert survivor.digest == plain.digest

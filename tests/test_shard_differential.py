@@ -266,11 +266,16 @@ class TestSourceSnapshotRestore:
         with pytest.raises(ConfigurationError):
             other.restore(snap)
 
-    def test_unsnapshottable_sources_refuse(self):
-        from repro.traffic.source import CBRSource, ShapedSource, TraceSource
+    def test_trace_source_roundtrips(self):
+        times = [0.001 * k for k in range(20)]
+        from repro.traffic.source import TraceSource
 
-        with pytest.raises(NotImplementedError):
-            TraceSource("f", [0.0, 0.001], 1000.0).snapshot()
+        _roundtrip(lambda: TraceSource("f", times, 1000.0),
+                   cut=0.0085, end=0.03)
+
+    def test_unsnapshottable_sources_refuse(self):
+        from repro.traffic.source import CBRSource, ShapedSource
+
         with pytest.raises(NotImplementedError):
             ShapedSource(CBRSource("f", 1e6, 1000.0),
                          sigma=8000.0, rho=1e6).snapshot()

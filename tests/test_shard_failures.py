@@ -1,0 +1,147 @@
+"""Worker failure handling in the sharded driver (robustness satellite).
+
+A worker that dies — a hard process exit (``BrokenProcessPool``) or an
+exception that pickles back — must be retried with exponential backoff
+up to ``max_retries`` times; with the budget exhausted the driver either
+raises a :class:`~repro.errors.WorkerError` naming the failed cells
+(``strict=True``, the default) or returns the partial report with a
+``"failures"`` section (``strict=False``) — never hangs, never loses the
+successful shards' results.  Crash injection rides in the cell spec
+(``"fail": {"mode", "attempts"}``; see ``repro.shard.worker._maybe_fail``)
+so every failure here is deterministic.
+"""
+
+import copy
+import multiprocessing
+
+import pytest
+
+from repro.cli import build_parser
+from repro.errors import WorkerError
+from repro.shard import run_sharded
+from repro.shard.driver import DEFAULT_MAX_RETRIES, _run_jobs
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="failure suite forks its worker pools")
+
+FORK = "fork"
+
+
+def cells(n=2, flows=3, duration=0.002):
+    out = []
+    for c in range(n):
+        fids = [f"c{c}-f{i}" for i in range(flows)]
+        out.append({
+            "cell": f"cell{c}", "kind": "flat", "duration": duration,
+            "scheduler": {"kind": "flat", "policy": "wf2qplus",
+                          "rate": 1e6, "flows": [(fid, 1) for fid in fids]},
+            "sources": [{"type": "cbr", "flow": fid, "length": 1000.0,
+                         "rate": 2e5} for fid in fids],
+        })
+    return out
+
+
+def scenario(cell_list, duration=0.002):
+    return {"name": "failure-lab", "duration": duration, "cells": cell_list}
+
+
+def flaky(spec, mode, attempts):
+    spec = copy.deepcopy(spec)
+    spec["fail"] = {"mode": mode, "attempts": attempts}
+    return spec
+
+
+class TestRetries:
+    @pytest.mark.parametrize("mode", ["raise", "exit"])
+    def test_worker_death_retried_and_digest_unchanged(self, mode):
+        """One shard dies on its first attempt (exception or hard exit);
+        the retry succeeds and the merged report is byte-identical to a
+        run that never failed."""
+        plain = cells()
+        clean = run_sharded(scenario(plain), shards=2, mp_context=FORK,
+                            retry_backoff=0.001)
+        shaky = [flaky(plain[0], mode, 1), plain[1]]
+        retried = run_sharded(scenario(shaky), shards=2, mp_context=FORK,
+                              retry_backoff=0.001)
+        assert retried["digest"] == clean["digest"]
+        assert "failures" not in retried
+
+    def test_exhausted_budget_strict_raises_worker_error(self):
+        shaky = [flaky(cells()[0], "raise", 99)] + cells()[1:]
+        with pytest.raises(WorkerError) as err:
+            run_sharded(scenario(shaky), shards=2, mp_context=FORK,
+                        max_retries=1, retry_backoff=0.001)
+        assert "injected worker failure" in str(err.value)
+
+    def test_exhausted_budget_non_strict_names_failed_cells(self):
+        plain = cells()
+        shaky = [flaky(plain[0], "raise", 99), plain[1]]
+        report = run_sharded(scenario(shaky), shards=2, mp_context=FORK,
+                             max_retries=1, retry_backoff=0.001,
+                             strict=False)
+        assert len(report["failures"]) == 1
+        (_shard, entry), = report["failures"].items()
+        assert entry["cells"] == ["cell0"]
+        assert "RuntimeError" in entry["cause"]
+        # The surviving shard's results are intact and the failed cell
+        # is absent — a caller can re-plan exactly the missing work.
+        assert "cell1" in report["cells"]
+        assert "cell0" not in report["cells"]
+
+    def test_zero_retries_fails_fast(self):
+        plain = cells()
+        shaky = [flaky(plain[0], "raise", 1), plain[1]]
+        with pytest.raises(WorkerError):
+            run_sharded(scenario(shaky), shards=2, mp_context=FORK,
+                        max_retries=0, retry_backoff=0.001)
+
+    def test_hard_exit_exhausted_names_broken_pool(self):
+        """A worker that keeps dying with a hard process exit surfaces as
+        BrokenProcessPool in the failure cause, not as a hang."""
+        plain = cells()
+        shaky = [flaky(plain[0], "exit", 99), plain[1]]
+        report = run_sharded(scenario(shaky), shards=2, mp_context=FORK,
+                             max_retries=1, retry_backoff=0.001,
+                             strict=False)
+        # A hard exit poisons the whole wave's pool, so innocent shards
+        # sharing it may fail too — the point is a typed report, no hang.
+        causes = [e["cause"] for e in report["failures"].values()]
+        assert any("BrokenProcessPool" in c for c in causes)
+        failed_cells = {c for e in report["failures"].values()
+                        for c in e["cells"]}
+        assert "cell0" in failed_cells
+
+
+class TestBackoffSchedule:
+    def test_exponential_backoff_between_waves(self):
+        """Retry wave k sleeps ``backoff * 2**(k-1)`` — asserted via an
+        injected sleep, so no real waiting happens."""
+        ctx = multiprocessing.get_context(FORK)
+        sleeps = []
+        spec = flaky(cells(n=1)[0], "raise", 2)
+        results, failures = _run_jobs(
+            ctx, [(0, [spec])], 0.002, max_retries=3, backoff=0.2,
+            absorb=lambda _stats: None, sleep=sleeps.append)
+        assert sleeps == [0.2, 0.4]  # two retry waves, then success
+        assert not failures and "cell0" in results
+
+    def test_failures_map_carries_last_cause(self):
+        ctx = multiprocessing.get_context(FORK)
+        spec = flaky(cells(n=1)[0], "raise", 99)
+        results, failures = _run_jobs(
+            ctx, [(0, [spec])], 0.002, max_retries=1, backoff=0.0,
+            absorb=lambda _stats: None, sleep=lambda _s: None)
+        assert results == {}
+        assert set(failures) == {0}
+        assert "attempt 1" in failures[0]  # the *last* attempt's cause
+
+
+class TestCLIKnob:
+    def test_max_retries_flag_parses_with_default(self):
+        parser = build_parser()
+        args = parser.parse_args(["sim", "--scenario", "cbr_flat"])
+        assert args.max_retries == DEFAULT_MAX_RETRIES
+        args = parser.parse_args(
+            ["sim", "--scenario", "cbr_flat", "--max-retries", "7"])
+        assert args.max_retries == 7

@@ -1,0 +1,154 @@
+"""Vector-backend engagement guards re-checked on *every* batch call.
+
+The columnar kernels (:class:`~repro.core.batch.VectorWF2QPlus`,
+:class:`~repro.core.hbatch.VectorHWF2QPlus`) bypass the event bus and
+the buffer-cap bookkeeping, so they may only run while neither exists.
+The original guard was evaluated once; these are the regression tests
+for the mid-run cases: an observer or buffer limit attached *between*
+batch calls must disengage the kernel from the very next call onward
+(and detaching the observer may re-engage it) — with the served schedule
+identical either way.
+"""
+
+from repro.core.batch import VectorWF2QPlus
+from repro.core.hbatch import VectorHWF2QPlus
+from repro.core.packet import Packet
+from repro.core.wf2qplus import WF2QPlusScheduler
+from repro.config import leaf, node
+from repro.obs import MetricsSink, RingBufferSink
+
+N = 32  # comfortably above BATCH_KERNEL_MIN
+
+
+def burst(fids, length=1.0, t=0.0, base=0):
+    return [Packet(fid, length, arrival_time=t, seqno=base + i)
+            for i, fid in enumerate(list(fids) * (N // len(fids)))]
+
+
+def flat(cls=VectorWF2QPlus):
+    s = cls(8.0)
+    for fid in "abcd":
+        s.add_flow(fid, 1)
+    return s
+
+
+def tree():
+    return node("root", 1, [
+        node("g", 1, [leaf("a", 1), leaf("b", 1)]),
+        leaf("c", 2),
+    ])
+
+
+# ----------------------------------------------------------------------
+# Hierarchical: counters prove per-call re-evaluation
+# ----------------------------------------------------------------------
+class TestHierMidRun:
+    def test_observer_attached_mid_run_disengages_next_batch(self):
+        vec = VectorHWF2QPlus(tree(), 8.0)
+        vec.enqueue_batch(burst("ab"), now=0.0)
+        vec.dequeue_batch(N)
+        engaged = vec.vector_stats()
+        assert engaged["vector_dequeued"] > 0
+
+        sink = RingBufferSink()
+        vec.attach_observer(sink)  # mid-run, between batch calls
+        vec.enqueue_batch(burst("ab", t=10.0, base=100), now=10.0)
+        vec.dequeue_batch(N)
+        after = vec.vector_stats()
+        # Not one more packet through the kernels...
+        assert after["vector_enqueued"] == engaged["vector_enqueued"]
+        assert after["vector_dequeued"] == engaged["vector_dequeued"]
+        assert after["exact_dequeued"] >= engaged["exact_dequeued"] + N
+        # ...and the exact path really published the second burst.
+        kinds = [e.kind for e in sink.events()]
+        assert kinds.count("enqueue") == N and kinds.count("dequeue") == N
+
+    def test_detaching_observer_reengages(self):
+        vec = VectorHWF2QPlus(tree(), 8.0)
+        sink = MetricsSink()
+        vec.attach_observer(sink)
+        vec.enqueue_batch(burst("ab"), now=0.0)
+        vec.dequeue_batch(N)
+        assert vec.vector_stats()["vector_dequeued"] == 0
+
+        vec.detach_observer(sink)
+        vec.enqueue_batch(burst("ab", t=10.0, base=100), now=10.0)
+        vec.dequeue_batch(N)
+        assert vec.vector_stats()["vector_dequeued"] > 0
+
+    def test_buffer_limit_set_mid_run_disengages_and_enforces(self):
+        vec = VectorHWF2QPlus(tree(), 8.0)
+        vec.enqueue_batch(burst("ab"), now=0.0)
+        vec.dequeue_batch(N)
+        engaged = vec.vector_stats()
+
+        vec.set_buffer_limit("a", 2)
+        accepted = vec.enqueue_batch(burst("a", t=10.0, base=100), now=10.0)
+        after = vec.vector_stats()
+        assert after["vector_enqueued"] == engaged["vector_enqueued"]
+        assert accepted == 2  # the cap is enforced, not bypassed
+        assert vec.drops("a") == N - 2
+
+        # Clearing the cap re-engages from the next call onward.
+        vec.dequeue_batch(N)
+        vec.set_buffer_limit("a", None)
+        vec.enqueue_batch(burst("ab", t=20.0, base=200), now=20.0)
+        assert vec.vector_stats()["vector_enqueued"] \
+            > after["vector_enqueued"]
+
+
+# ----------------------------------------------------------------------
+# Flat: behavior proves it (no engagement counters on this backend)
+# ----------------------------------------------------------------------
+class TestFlatMidRun:
+    def test_observer_attached_mid_run_sees_every_later_packet(self):
+        """The kernel bypasses the event bus, so events for post-attach
+        batches are only possible if the guard disengaged it."""
+        vec = flat()
+        vec.enqueue_batch(burst("abcd"), now=0.0)
+        vec.dequeue_batch(N)
+
+        sink = RingBufferSink()
+        vec.attach_observer(sink)
+        vec.enqueue_batch(burst("abcd", t=10.0, base=100), now=10.0)
+        vec.dequeue_batch(N)
+        kinds = [e.kind for e in sink.events()]
+        assert kinds.count("enqueue") == N
+        assert kinds.count("dequeue") == N
+
+    def test_drain_until_also_guarded(self):
+        vec = flat()
+        vec.enqueue_batch(burst("abcd"), now=0.0)
+        sink = RingBufferSink()
+        vec.attach_observer(sink)
+        vec.drain_until(limit=None)
+        assert sum(e.kind == "dequeue" for e in sink.events()) == N
+
+    def test_buffer_limit_set_mid_run_enforced_on_next_batch(self):
+        vec = flat()
+        vec.enqueue_batch(burst("abcd"), now=0.0)
+        vec.dequeue_batch(N)
+
+        vec.set_buffer_limit("a", 3)
+        accepted = vec.enqueue_batch(burst("a", t=10.0, base=100), now=10.0)
+        assert accepted == 3
+        assert vec.drops("a") == N - 3
+
+    def test_schedule_identical_across_mid_run_attach(self):
+        """Disengaging mid-run must not perturb service: the vector run
+        with a mid-run attach matches the exact scheduler transcript."""
+        def drive(s):
+            out = []
+            s.enqueue_batch(burst("abcd"), now=0.0)
+            out += s.dequeue_batch(N)
+            if hasattr(s, "_cols"):  # the vector backend under test
+                s.attach_observer(MetricsSink())
+            s.enqueue_batch(burst("abcd", t=10.0, base=100), now=10.0)
+            out += s.dequeue_batch(N)
+            return [(r.packet.flow_id, r.packet.seqno, r.start_time,
+                     r.finish_time) for r in out]
+
+        exact = WF2QPlusScheduler(8.0)
+        for fid in "abcd":
+            exact.add_flow(fid, 1)
+        assert drive(flat()) == drive(exact)
