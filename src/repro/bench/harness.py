@@ -7,6 +7,7 @@ A benchmark run produces a list of :class:`BenchPoint` — one per
       "version": 1,
       "generated_at": "2026-01-01T00:00:00Z",
       "git_rev": "abc1234",
+      "dirty": false,
       "python": "3.12.1",
       "numpy": "2.4.6",
       "platform": {"system": "Linux", "release": "...", "machine": "x86_64",
@@ -163,6 +164,25 @@ def _git_rev():
     return "unknown"
 
 
+def _git_dirty():
+    """True when the worktree has uncommitted changes, None if unknown.
+
+    A baseline stamped ``"dirty": true`` was measured against code that
+    no commit can reproduce — the provenance a reviewer needs before
+    trusting (or refreshing) the committed numbers.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True, text=True, timeout=10,
+        )
+        if out.returncode == 0:
+            return bool(out.stdout.strip())
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return None
+
+
 def platform_info():
     """Where the numbers were measured (regressions only compare within
     one machine; the provenance makes cross-machine diffs self-evident)."""
@@ -184,6 +204,8 @@ def to_payload(points):
         "generated_at": time.strftime(
             "%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "git_rev": _git_rev(),
+        # True = measured against uncommitted changes; see _git_dirty.
+        "dirty": _git_dirty(),
         "python": sys.version.split()[0],
         # None on numpy-less hosts: the columnar kernels then ran their
         # pure-array lanes, which is provenance a baseline must carry.

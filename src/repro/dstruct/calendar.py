@@ -1,0 +1,299 @@
+"""A calendar queue: the O(1)-amortized priority structure behind the
+simulator's ``engine="calendar"`` mode.
+
+The classic structure (Brown, CACM 1988) hashes each pending entry into a
+bucket by its timestamp — ``bucket = floor(t / width) mod nbuckets`` — and
+dequeues by scanning the "current year": advance a slot cursor bucket by
+bucket, serving entries whose home slot has been reached.  With the bucket
+width tracking the mean gap between pending timestamps, each operation
+touches O(1) buckets amortized, replacing the O(log n) sift of a binary
+heap with a handful of list operations.
+
+Determinism
+-----------
+Entries are the simulator's ``(time, priority, seq, event)`` tuples —
+``seq`` is unique, so plain tuple comparison is a *total* order identical
+to the heap engine's, and a bucket ``sort()`` never falls through to
+comparing events.  Buckets are kept reverse-sorted (the minimum at the
+tail, so serving is an O(1) ``list.pop()``); a push marks its bucket dirty
+and the sort is deferred to the next scan that reaches it.  Because the
+scan serves entries in exact ``(time, priority, seq)`` order and the
+simulator drains one entry at a time, the pop sequence is byte-identical
+to ``heapq`` on the same pushes — the property the differential suite
+pins.
+
+Two float-safety rules keep the scan exact:
+
+* An entry's *home slot* is always computed by the same expression,
+  ``int(t / width)``, at push time and at scan time, so rounding can never
+  disagree about which year an entry belongs to (the scan condition is
+  "home slot <= cursor", not a recomputed bucket boundary).
+* The cursor rewinds on any push whose home slot precedes it, so no live
+  entry is ever left behind the scan.
+
+Robustness
+----------
+A full fruitless lap (every bucket either empty or holding only
+future-year entries) falls back to a *direct search* — the global minimum
+over all bucket tails — and teleports the cursor to its year, bounding any
+single dequeue at O(nbuckets) even for pathological gaps.  Bucket count
+and width recalibrate from the live population every ``O(size)``
+operations (see :meth:`_calibrate`); a population whose timestamps have
+zero spread cannot be hashed apart at any width, so it raises the
+:attr:`degenerate` flag and the simulator migrates the entries to the
+heap engine (heapify preserves the same total order).
+"""
+
+__all__ = ["CalendarQueue"]
+
+#: Bucket-count bounds: powers of two so the bucket index is a mask.
+MIN_BUCKETS = 16
+MAX_BUCKETS = 1 << 15
+
+#: A population at least this large with zero timestamp spread marks the
+#: queue degenerate (a single eternally re-sorted bucket beats no heap).
+DEGENERATE_MIN = 256
+
+
+class CalendarQueue:
+    """A bucket-array priority queue over ``(time, priority, seq, event)``
+    tuples, byte-identical in pop order to ``heapq`` on the same pushes.
+    """
+
+    #: Width targets this many entries per bucket-year.  The classic rule
+    #: is 1, but CPython inverts the constant-factor economics: a C-level
+    #: ``list.sort`` over ~16 tuples costs far less per entry than one
+    #: interpreted bucket-advance, so wider buckets amortize the scan.
+    LOAD = 16
+
+    __slots__ = ("_buckets", "_dirty", "_nbuckets", "_mask", "_width",
+                 "_slot", "_size", "_pushes", "_check_at", "_scan_debt",
+                 "_gen", "resizes", "degenerate")
+
+    def __init__(self, width=1.0, nbuckets=MIN_BUCKETS):
+        if width <= 0:
+            raise ValueError(f"bucket width must be positive, got {width!r}")
+        if nbuckets & (nbuckets - 1):
+            raise ValueError(f"nbuckets must be a power of two: {nbuckets}")
+        self._buckets = [[] for _ in range(nbuckets)]
+        self._dirty = [False] * nbuckets
+        self._nbuckets = nbuckets
+        self._mask = nbuckets - 1
+        self._width = width
+        #: Scan cursor: the absolute slot (year * nbuckets + bucket) the
+        #: next dequeue starts from.  Invariant: no live entry's home slot
+        #: precedes it.
+        self._slot = 0
+        self._size = 0
+        #: Pushes since the last calibration; recalibrate at _check_at.
+        self._pushes = 0
+        self._check_at = 256
+        #: Empty buckets scanned since the last calibration — a drain-only
+        #: phase never pushes, so sustained scanning is its recalibration
+        #: trigger.
+        self._scan_debt = 0
+        #: Bucket-array generation, bumped by every rebuild: the
+        #: simulator's inlined run loop hoists the bucket array into
+        #: locals and re-syncs them when this moves.
+        self._gen = 0
+        #: Bucket-array rebuilds (resize or width change) — surfaced in
+        #: ``repro stats`` / profiler reports.
+        self.resizes = 0
+        #: True once the population cannot be hashed apart (zero timestamp
+        #: spread at scale): the simulator migrates to the heap engine.
+        self.degenerate = False
+
+    def __len__(self):
+        return self._size
+
+    @property
+    def width(self):
+        return self._width
+
+    @property
+    def nbuckets(self):
+        return self._nbuckets
+
+    # ------------------------------------------------------------------
+    def push(self, entry):
+        """Insert one ``(time, priority, seq, event)`` tuple."""
+        s = int(entry[0] / self._width)
+        if s < self._slot:
+            self._slot = s
+        idx = s & self._mask
+        bucket = self._buckets[idx]
+        bucket.append(entry)
+        if len(bucket) > 1:
+            self._dirty[idx] = True
+        self._size += 1
+        self._pushes += 1
+        if self._pushes >= self._check_at:
+            self._calibrate()
+
+    def _locate(self):
+        """Advance the cursor to the bucket holding the global minimum and
+        return that bucket (its tail is the minimum).  None when empty.
+        """
+        if not self._size:
+            return None
+        buckets = self._buckets
+        dirty = self._dirty
+        mask = self._mask
+        width = self._width
+        slot = self._slot
+        for _ in range(self._nbuckets + 1):
+            idx = slot & mask
+            bucket = buckets[idx]
+            if bucket:
+                if dirty[idx]:
+                    bucket.sort(reverse=True)
+                    dirty[idx] = False
+                if int(bucket[-1][0] / width) <= slot:
+                    self._slot = slot
+                    return bucket
+            slot += 1
+            self._scan_debt += 1
+        # A full fruitless lap: every entry lives in a future year.  Direct
+        # search for the global minimum keeps the dequeue exact (and O(n)
+        # at worst) regardless of how sparse the timeline is.
+        best = None
+        best_bucket = None
+        for idx, bucket in enumerate(buckets):
+            if not bucket:
+                continue
+            if dirty[idx]:
+                bucket.sort(reverse=True)
+                dirty[idx] = False
+            tail = bucket[-1]
+            if best is None or tail < best:
+                best = tail
+                best_bucket = bucket
+        self._slot = int(best[0] / width)
+        return best_bucket
+
+    def pop(self):
+        """Remove and return the minimum entry; IndexError when empty."""
+        if self._scan_debt > (self._nbuckets << 2):
+            self._calibrate()
+        bucket = self._locate()
+        if bucket is None:
+            raise IndexError("pop from an empty CalendarQueue")
+        self._size -= 1
+        return bucket.pop()
+
+    def peek(self):
+        """The minimum entry without removing it, or None when empty."""
+        bucket = self._locate()
+        return None if bucket is None else bucket[-1]
+
+    def pop_located(self, bucket):
+        """Pop the tail of a bucket just returned by :meth:`_locate`.
+
+        The simulator's run loop peeks (to honour its ``until`` horizon)
+        and then pops the same entry; splitting locate from pop saves the
+        second scan.
+        """
+        self._size -= 1
+        return bucket.pop()
+
+    def entries(self):
+        """Iterate all queued entries (any order, tombstones included)."""
+        for bucket in self._buckets:
+            yield from bucket
+
+    def compact(self, is_dead):
+        """Drop every entry whose event ``is_dead`` flags; return count.
+
+        The simulator calls this when cancelled tombstones dominate —
+        the calendar analogue of the heap engine's lazy re-heapify.
+        Surviving buckets keep their order flags (filtering a sorted
+        list preserves its order).
+        """
+        removed = 0
+        for bucket in self._buckets:
+            if not bucket:
+                continue
+            kept = [entry for entry in bucket if not is_dead(entry[3])]
+            if len(kept) != len(bucket):
+                removed += len(bucket) - len(kept)
+                bucket[:] = kept
+        self._size -= removed
+        return removed
+
+    # ------------------------------------------------------------------
+    def _calibrate(self):
+        """Re-fit bucket count and width to the live population.
+
+        Triggered every ``max(256, size)`` pushes and by sustained
+        empty-bucket scanning, so its O(size + nbuckets) cost is amortized
+        O(1) per operation.  The width targets :data:`LOAD` mean gaps
+        between pending timestamps (LOAD entries per bucket-year); the
+        bucket count targets 4*size/LOAD (see the sizing comment below),
+        clamped to powers of two in [MIN_BUCKETS, MAX_BUCKETS].
+        Entries are rehashed only when either parameter actually moves
+        (width by more than 2x either way).
+        """
+        self._pushes = 0
+        self._scan_debt = 0
+        size = self._size
+        if size == 0:
+            self._check_at = 256
+            return
+        # C-speed scan: flatten + min/max over a times list beats an
+        # interpreted per-entry comparison loop ~4x, and calibration is
+        # the calendar's single largest interpreted cost under growth.
+        entries = [entry for bucket in self._buckets for entry in bucket]
+        times = [entry[0] for entry in entries]
+        lo = min(times)
+        hi = max(times)
+        span = hi - lo
+        load = self.LOAD
+        # Anticipatory sizing: target 4x the current population so a
+        # monotone growth phase rebuilds every two doublings instead of
+        # every one.  Extra buckets don't slow the scan — the cursor
+        # walks *years* (width is set by LOAD alone), so a larger array
+        # only reduces year aliasing.
+        nbuckets = MIN_BUCKETS
+        while nbuckets * load < size * 4 and nbuckets < MAX_BUCKETS:
+            nbuckets <<= 1
+        if span > 0:
+            width = span * load / size
+            # Underflow/overflow guards: a width too small to divide by
+            # (or one that maps the largest timestamp to an infinite
+            # slot) cannot hash the population apart either.
+            if not width > 0 or hi / width == float("inf"):
+                span = 0
+        if span <= 0:
+            # Zero (or sub-float) spread: no width can hash this apart.
+            if size >= DEGENERATE_MIN:
+                self.degenerate = True
+            self._check_at = max(256, size)
+            return
+        old_width = self._width
+        if (nbuckets == self._nbuckets
+                and old_width / 2 < width < old_width * 2):
+            self._check_at = max(256, size)
+            return
+        self._buckets = [[] for _ in range(nbuckets)]
+        self._dirty = [False] * nbuckets
+        self._nbuckets = nbuckets
+        self._mask = nbuckets - 1
+        self._width = width
+        self._slot = int(lo / width)
+        buckets = self._buckets
+        dirty = self._dirty
+        mask = self._mask
+        for entry in entries:
+            idx = int(entry[0] / width) & mask
+            bucket = buckets[idx]
+            bucket.append(entry)
+            if len(bucket) > 1:
+                dirty[idx] = True
+        self._gen += 1
+        self.resizes += 1
+        self._check_at = max(256, size)
+
+    def __repr__(self):
+        return (f"CalendarQueue(size={self._size}, "
+                f"nbuckets={self._nbuckets}, width={self._width!r}, "
+                f"resizes={self.resizes})")

@@ -44,7 +44,8 @@ _DEFAULT_START = "spawn"
 DEFAULT_MAX_RETRIES = 2
 
 
-def _run_jobs(ctx, jobs, duration, max_retries, backoff, absorb, sleep=None):
+def _run_jobs(ctx, jobs, duration, max_retries, backoff, absorb, sleep=None,
+              engine=None):
     """Fan ``(shard, specs)`` jobs out to worker processes with retries.
 
     Built on :class:`ProcessPoolExecutor`, which *detects* an abruptly
@@ -71,7 +72,8 @@ def _run_jobs(ctx, jobs, duration, max_retries, backoff, absorb, sleep=None):
                                  mp_context=ctx) as pool:
             futures = [
                 (shard, specs,
-                 pool.submit(run_shard, (shard, specs, duration, attempt)))
+                 pool.submit(run_shard,
+                             (shard, specs, duration, attempt, engine)))
                 for shard, specs in pending
             ]
             # Merge by dict update, keyed on stable cell ids: completion
@@ -132,13 +134,17 @@ def _split_migration(cells, migrate):
 
 def run_sharded(scenario="cbr_flat", shards=1, duration=None, migrate=None,
                 mp_context=None, max_retries=DEFAULT_MAX_RETRIES,
-                retry_backoff=0.05, strict=True, **params):
+                retry_backoff=0.05, strict=True, engine=None, **params):
     """Run a scenario across ``shards`` workers; returns the merged report.
 
     ``scenario`` is a registered name (params like ``flows``/``cells``/
     ``rate``/``seed`` pass through to the builder) or a prebuilt
     ``{"name", "duration", "cells"}`` dict.  ``migrate`` is
-    ``{"cell": id, "at": t}`` with ``0 < t < duration``.
+    ``{"cell": id, "at": t}`` with ``0 < t < duration``.  ``engine``
+    selects the simulator's event engine in every worker (heap, calendar,
+    or their ``+pool`` variants; None resolves from ``REPRO_ENGINE``);
+    the merged digest is engine-invariant, which the differential suite
+    pins.
 
     Worker failures: each shard whose worker dies or raises is retried up
     to ``max_retries`` times (exponential backoff starting at
@@ -155,28 +161,28 @@ def run_sharded(scenario="cbr_flat", shards=1, duration=None, migrate=None,
             f"migration time {migrate['at']!r} must fall inside "
             f"(0, {duration!r})")
     sim_stats = {"events_processed": 0, "events_elided": 0,
-                 "batch_calls": 0, "batch_packets": 0}
+                 "batch_calls": 0, "batch_packets": 0,
+                 "pool_hits": 0, "pool_misses": 0,
+                 "calendar_resizes": 0, "engine_fallbacks": 0}
 
     def absorb(stats):
-        sim_stats["events_processed"] += stats["events_processed"]
-        sim_stats["events_elided"] += stats["events_elided"]
-        sim_stats["batch_calls"] += stats.get("batch_calls", 0)
-        sim_stats["batch_packets"] += stats.get("batch_packets", 0)
+        for key in sim_stats:
+            sim_stats[key] += stats.get(key, 0)
 
     t0 = perf_counter()
     results = {}
     failures = {}
     if shards <= 1:
         if rest:
-            cell_results, stats = run_cells(rest, duration)
+            cell_results, stats = run_cells(rest, duration, engine=engine)
             results.update(cell_results)
             absorb(stats)
         if migrating is not None:
             # Same process, but a genuinely fresh simulator for the
             # resume — the cross-process variant is exercised below and
             # in the differential suite.
-            ckpt = checkpoint_cell(migrating, migrate["at"])
-            resumed = resume_cell(migrating, ckpt, duration)
+            ckpt = checkpoint_cell(migrating, migrate["at"], engine=engine)
+            resumed = resume_cell(migrating, ckpt, duration, engine=engine)
             results[migrating["cell"]] = resumed["result"]
             absorb(resumed["sim"])
     else:
@@ -187,7 +193,8 @@ def run_sharded(scenario="cbr_flat", shards=1, duration=None, migrate=None,
         jobs = [(shard, specs) for shard, specs in sorted(by_shard.items())]
         ctx = multiprocessing.get_context(mp_context or _DEFAULT_START)
         shard_results, failures = _run_jobs(
-            ctx, jobs, duration, max_retries, retry_backoff, absorb)
+            ctx, jobs, duration, max_retries, retry_backoff, absorb,
+            engine=engine)
         results.update(shard_results)
         if migrating is not None:
             # Checkpoint in one pool worker, resume in *another*: the
@@ -195,10 +202,11 @@ def run_sharded(scenario="cbr_flat", shards=1, duration=None, migrate=None,
             # worker that never saw the first segment.
             with ProcessPoolExecutor(max_workers=1, mp_context=ctx) as pool:
                 ckpt = pool.submit(
-                    checkpoint_cell, migrating, migrate["at"]).result()
+                    checkpoint_cell, migrating, migrate["at"],
+                    engine).result()
             with ProcessPoolExecutor(max_workers=1, mp_context=ctx) as fresh:
                 resumed = fresh.submit(
-                    resume_cell, migrating, ckpt, duration).result()
+                    resume_cell, migrating, ckpt, duration, engine).result()
             results[migrating["cell"]] = resumed["result"]
             absorb(resumed["sim"])
     if failures and strict:

@@ -336,36 +336,58 @@ def _batch_totals(cells):
     return {"batch_calls": calls, "batch_packets": packets}
 
 
-def run_cells(specs, duration):
+def _engine_stats(sim):
+    """Event-engine counters for a finished simulator (process-local).
+
+    Like ``events_elided`` these are execution metadata — bucket resizes
+    depend on what else shares the event queue — so the merge layer sums
+    them and keeps them out of the digest.
+    """
+    return {
+        "pool_hits": sim.pool_hits,
+        "pool_misses": sim.pool_misses,
+        "calendar_resizes": sim.calendar_resizes,
+        "engine_fallbacks": sim.engine_fallbacks,
+    }
+
+
+def run_cells(specs, duration, engine=None):
     """Run a group of cells in ONE simulator; returns (results, sim stats).
 
     This is both the whole job of a shard worker and — passed every cell —
     the single-process reference run, which is what makes ``--shards 1``
-    a genuine baseline rather than a degenerate pool.
+    a genuine baseline rather than a degenerate pool.  ``engine`` selects
+    the event engine (see :func:`repro.sim.engine.resolve_engine`); both
+    engines produce byte-identical cell results, so the merged digest is
+    engine-invariant.
     """
     from repro.sim.engine import Simulator
 
-    sim = Simulator()
+    sim = Simulator(engine=engine)
     cells = [build_cell(sim, spec) for spec in specs]
     sim.run(until=duration)
     results = {cell.spec["cell"]: collect(cell) for cell in cells}
     stats = {"events_processed": sim.events_processed,
              "events_elided": sim.events_elided}
     stats.update(_batch_totals(cells))
+    stats.update(_engine_stats(sim))
     return results, stats
 
 
 def run_shard(job):
-    """Pool entry point: ``(shard_id, [cell specs], duration[, attempt])``.
+    """Pool entry: ``(shard_id, [cell specs], duration[, attempt[, engine]])``.
 
     ``attempt`` (default 0) is the driver's retry counter; it feeds the
     deterministic crash injection below and nothing else, so legacy
-    3-tuple jobs behave identically.
+    3-tuple jobs behave identically.  ``engine`` (default None: resolve
+    from ``REPRO_ENGINE``/heap in the worker process) rides in the job so
+    spawn-started workers run the engine the driver was asked for.
     """
     shard_id, specs, duration, *rest = job
     attempt = rest[0] if rest else 0
+    engine = rest[1] if len(rest) > 1 else None
     _maybe_fail(shard_id, specs, attempt)
-    results, stats = run_cells(specs, duration)
+    results, stats = run_cells(specs, duration, engine=engine)
     return {"shard": shard_id, "results": results, "sim": stats}
 
 
@@ -393,7 +415,7 @@ def _maybe_fail(shard_id, specs, attempt):
 # ----------------------------------------------------------------------
 # Checkpoint-based migration
 # ----------------------------------------------------------------------
-def checkpoint_cell(spec, at):
+def checkpoint_cell(spec, at, engine=None):
     """Run a flat cell to ``at`` and capture a picklable checkpoint.
 
     The checkpoint carries the joint link+scheduler snapshot (including
@@ -401,7 +423,8 @@ def checkpoint_cell(spec, at):
     per-source emission snapshots, and the partial results of the first
     segment.  ``sim.run(until=at)`` leaves the stack in a consistent
     state — any transmission crossing the cut holds a real finish event,
-    which the snapshot encodes and :func:`resume_cell` re-arms.
+    which the snapshot encodes and :func:`resume_cell` re-arms.  The
+    checkpoint itself is engine-agnostic: either engine may resume it.
     """
     from repro.sim.engine import Simulator
 
@@ -409,12 +432,13 @@ def checkpoint_cell(spec, at):
         raise ConfigurationError(
             "network cells cannot be checkpointed (in-flight hop state is "
             "not snapshottable); migrate flat cells only")
-    sim = Simulator()
+    sim = Simulator(engine=engine)
     cell = build_cell(sim, spec)
     sim.run(until=at)
     sim_stats = {"events_processed": sim.events_processed,
                  "events_elided": sim.events_elided}
     sim_stats.update(_batch_totals([cell]))
+    sim_stats.update(_engine_stats(sim))
     return {
         "cell": spec["cell"],
         "clock": at,
@@ -425,7 +449,7 @@ def checkpoint_cell(spec, at):
     }
 
 
-def resume_cell(spec, ckpt, duration):
+def resume_cell(spec, ckpt, duration, engine=None):
     """Rebuild a checkpointed cell in a fresh process and finish the run.
 
     Returns the merged (segment 1 + segment 2) cell result plus the
@@ -440,7 +464,7 @@ def resume_cell(spec, ckpt, duration):
         raise ConfigurationError(
             f"checkpoint is for cell {ckpt['cell']!r}, "
             f"not {spec['cell']!r}")
-    sim = Simulator()
+    sim = Simulator(engine=engine)
     cell = build_cell(sim, spec, start=False)
     link = cell.links["link"]
     link.restore(ckpt["link"], rearm=True)
@@ -463,6 +487,9 @@ def resume_cell(spec, ckpt, duration):
     # carries them), so segment 2's batch totals are already the whole
     # run's — adding the checkpoint's would double-count segment 1.
     stats.update(_batch_totals([cell]))
+    # Engine counters are per-simulator, so the two segments add.
+    for key, value in _engine_stats(sim).items():
+        stats[key] = value + ckpt["sim"].get(key, 0)
     return {"result": merged, "sim": stats}
 
 

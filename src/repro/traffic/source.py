@@ -53,6 +53,13 @@ class Source:
     #: classic per-packet ``next_gap()`` path.
     TIMETABLE_CHUNK = 0
 
+    #: Optional :class:`~repro.core.packet.PacketPool` the source draws
+    #: packets from (set by pipeline builders that also hand the pool to
+    #: the Link for recycling).  Acquired packets get a fresh uid exactly
+    #: as construction would, so the uid stream — and every digest built
+    #: on it — is identical with or without the pool.
+    packet_pool = None
+
     def __init__(self, flow_id, packet_length, start_time=0.0, stop_time=None):
         if packet_length <= 0:
             raise ConfigurationError(
@@ -89,26 +96,42 @@ class Source:
             self._timetable = ()
             self._timetable_idx = 0
             self._pending = self.sim.schedule(self.start_time,
-                                              self._emit_timetable)
+                                              self._emit_timetable,
+                                              pooled=True)
         else:
-            self._pending = self.sim.schedule(self.start_time, self._emit)
+            self._pending = self.sim.schedule(self.start_time, self._emit,
+                                              pooled=True)
         return self
 
     # -- subclass API ----------------------------------------------------
     def _emit(self):
-        """Emit one packet now and schedule the next one."""
+        """Emit one packet now and schedule the next one.
+
+        Every exit either re-arms ``_pending`` or clears it: emission
+        events are scheduled ``pooled=True``, so no reference to a fired
+        handle may survive this callback (the engine recycles it).
+        """
         now = self.sim.now
         if self.stop_time is not None and now >= self.stop_time:
+            self._pending = None
             return
         self._send_packet(now)
         gap = self.next_gap()
         if gap is not None:
-            self._pending = self.sim.schedule(now + gap, self._emit)
+            self._pending = self.sim.schedule(now + gap, self._emit,
+                                              pooled=True)
+        else:
+            self._pending = None
 
     def _emit_timetable(self):
-        """Emit one packet now; the next time comes from the chunk buffer."""
+        """Emit one packet now; the next time comes from the chunk buffer.
+
+        Same ``_pending`` discipline as :meth:`_emit` — the handle is
+        re-armed or cleared on every exit.
+        """
         now = self.sim.now
         if self.stop_time is not None and now >= self.stop_time:
+            self._pending = None
             return
         self._send_packet(now)
         i = self._timetable_idx
@@ -118,9 +141,11 @@ class Source:
                 now, self.TIMETABLE_CHUNK)
             i = 0
             if not times:
+                self._pending = None
                 return
         self._timetable_idx = i + 1
-        self._pending = self.sim.schedule(times[i], self._emit_timetable)
+        self._pending = self.sim.schedule(times[i], self._emit_timetable,
+                                          pooled=True)
 
     def _next_times(self, now, n):
         """Up to ``n`` upcoming absolute emission times after ``now``.
@@ -144,8 +169,13 @@ class Source:
 
     def _send_packet(self, now, length=None):
         length = length if length is not None else self.packet_length
-        packet = Packet(self.flow_id, length, arrival_time=now,
-                        seqno=self.packets_sent)
+        pool = self.packet_pool
+        if pool is not None:
+            packet = pool.acquire(self.flow_id, length, arrival_time=now,
+                                  seqno=self.packets_sent)
+        else:
+            packet = Packet(self.flow_id, length, arrival_time=now,
+                            seqno=self.packets_sent)
         self.packets_sent += 1
         self.bits_sent += length
         self.link.send(packet)
@@ -212,7 +242,8 @@ class Source:
         if pending_time is not None:
             callback = (self._emit_timetable if self.TIMETABLE_CHUNK > 0
                         else self._emit)
-            self._pending = self.sim.schedule(pending_time, callback)
+            self._pending = self.sim.schedule(pending_time, callback,
+                                              pooled=True)
         return self
 
     def _snapshot_extra(self):
@@ -549,7 +580,10 @@ class TraceSource(Source):
         if i < n:
             # Keep the handle: snapshot() needs the pending emission time
             # to make the trace stream resumable after a checkpoint.
-            self._pending = self.sim.schedule(entries[i][0], self._emit)
+            self._pending = self.sim.schedule(entries[i][0], self._emit,
+                                              pooled=True)
+        else:
+            self._pending = None
 
     def next_gap(self):  # pragma: no cover - _emit is overridden
         return None
@@ -603,7 +637,8 @@ class ShapedSource(Source):
         if release <= now:
             self._forward(packet)
         else:
-            self.sim.schedule(release, self._forward, packet)
+            # Handle discarded immediately: safe to recycle once fired.
+            self.sim.schedule(release, self._forward, packet, pooled=True)
 
     def _forward(self, packet):
         packet.arrival_time = self.sim.now

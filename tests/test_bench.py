@@ -124,6 +124,35 @@ class TestProvenance:
             "system", "release", "machine", "processor", "cpu_count"}
         assert isinstance(info["cpu_count"], int) and info["cpu_count"] >= 1
 
+    def test_payload_records_dirty_flag(self):
+        # True/False from `git status --porcelain`, None when git is
+        # unavailable — all three are valid provenance, absence is not.
+        payload = to_payload([])
+        assert "dirty" in payload
+        assert payload["dirty"] in (True, False, None)
+
+    def test_dirty_flag_reflects_porcelain_output(self, monkeypatch):
+        import repro.bench.harness as harness
+
+        class Done:
+            returncode = 0
+            stdout = " M src/repro/bench/harness.py\n"
+
+        monkeypatch.setattr(harness.subprocess, "run",
+                            lambda *args, **kwargs: Done())
+        assert harness._git_dirty() is True
+        Done.stdout = "\n"
+        assert harness._git_dirty() is False
+
+    def test_dirty_flag_unknown_without_git(self, monkeypatch):
+        import repro.bench.harness as harness
+
+        def boom(*args, **kwargs):
+            raise OSError("no git binary")
+
+        monkeypatch.setattr(harness.subprocess, "run", boom)
+        assert harness._git_dirty() is None
+
     def test_packets_per_sec_is_derived_from_cost(self):
         point = BenchPoint("s", "x", {}, 10, 2000.0)
         assert point.packets_per_sec == pytest.approx(500_000.0)
@@ -270,6 +299,20 @@ class TestCLI:
         save([BenchPoint("fake", "WF2Q+", {"flows": 4}, 100, 1000.0 / 1.4)],
              baseline)
         rc = main(["bench", "--scenario", "fake",
+                   "--compare", str(baseline)])
+        assert rc == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_compare_quick_mode_still_gates(self, fake_scenario, tmp_path,
+                                            capsys):
+        # --quick trims the workloads, never the enforcement: a regressed
+        # point must fail the run with the same non-zero exit that a
+        # full-mode measurement would produce (the CI perf-smoke job
+        # relies on this).
+        baseline = tmp_path / "base.json"
+        save([BenchPoint("fake", "WF2Q+", {"flows": 4}, 100, 1000.0 / 1.4)],
+             baseline)
+        rc = main(["bench", "--quick", "--scenario", "fake",
                    "--compare", str(baseline)])
         assert rc == 1
         assert "FAIL" in capsys.readouterr().out

@@ -1,0 +1,362 @@
+"""Differential proof that every event engine is observably identical.
+
+The calendar queue and the ``+pool`` free lists are pure speed plays:
+``Simulator(engine=...)`` must never change callback order, clock
+values, drop decisions, Fraction virtual tags, digests, or
+checkpoint/rollback behaviour.  These tests pin that equivalence at
+every layer — raw pop order vs ``heapq``, mixed simulator workloads,
+the service runner's chained digest (Fractions intact), recovery
+across engine switches, drop ledgers under finite buffers, and the
+sharded driver's merged digest with and without migration — plus the
+boundary cases where the calendar could plausibly diverge: events
+exactly at a drain horizon, tombstones straddling a bucket resize, and
+pool recycling across checkpoint rollback.
+"""
+
+import heapq
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.dstruct.calendar import DEGENERATE_MIN, CalendarQueue
+from repro.sim.engine import ENGINES, Simulator
+
+CALENDAR_ENGINES = tuple(e for e in ENGINES if e.startswith("calendar"))
+
+
+class _Handle:
+    """Minimal stand-in for the Event riding in a queue entry."""
+
+    __slots__ = ("cancelled",)
+
+    def __init__(self):
+        self.cancelled = False
+
+
+def _entries(times):
+    return [(t, 0, seq, _Handle()) for seq, t in enumerate(times)]
+
+
+class TestCalendarPopOrder:
+    """Byte-identical pop order vs heapq on the same pushes."""
+
+    def _differential(self, times):
+        cal = CalendarQueue()
+        heap = []
+        for entry in _entries(times):
+            cal.push(entry)
+            heapq.heappush(heap, entry)
+        got = [cal.pop() for _ in range(len(heap))]
+        want = [heapq.heappop(heap) for _ in range(len(heap))]
+        assert got == want
+        assert len(cal) == 0
+
+    def test_random_times(self):
+        rng = random.Random(7)
+        self._differential([rng.uniform(0.0, 50.0) for _ in range(3000)])
+
+    def test_heavy_ties_break_by_sequence(self):
+        rng = random.Random(8)
+        # A coarse grid forces many exact-time ties: the seq tie-break
+        # must reproduce heapq's FIFO order exactly.
+        self._differential([rng.choice((0.0, 1.0, 1.5, 2.0))
+                            for _ in range(2000)])
+
+    def test_interleaved_push_pop(self):
+        rng = random.Random(9)
+        cal = CalendarQueue()
+        heap = []
+        seq = 0
+        floor = 0.0
+        for _ in range(4000):
+            if heap and rng.random() < 0.45:
+                got, want = cal.pop(), heapq.heappop(heap)
+                assert got == want
+                floor = want[0]
+            else:
+                entry = (floor + rng.uniform(0.0, 5.0), 0, seq, _Handle())
+                seq += 1
+                cal.push(entry)
+                heapq.heappush(heap, entry)
+        while heap:
+            assert cal.pop() == heapq.heappop(heap)
+
+    def test_resizes_happen_and_preserve_order(self):
+        # Enough pushes over a wide span to force several calibrations.
+        rng = random.Random(10)
+        times = [rng.uniform(0.0, 1000.0) for _ in range(5000)]
+        cal = CalendarQueue()
+        for entry in _entries(times):
+            cal.push(entry)
+        assert cal.resizes > 0
+        drained = [cal.pop() for _ in range(len(times))]
+        assert drained == sorted(drained)
+
+    def test_degenerate_spread_raises_flag(self):
+        cal = CalendarQueue()
+        for entry in _entries([1.0] * max(300, DEGENERATE_MIN + 44)):
+            cal.push(entry)
+        assert cal.degenerate
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestSimulatorEquivalence:
+    """Same mixed workload, identical observable trace on every engine."""
+
+    def _churn(self, engine, seed=3):
+        rng = random.Random(seed)
+        sim = Simulator(engine=engine)
+        out = []
+        handles = []
+
+        def fire(label):
+            out.append((sim.now, label))
+            if len(out) < 4000:
+                if rng.random() < 0.3:
+                    # Retained (cancellable) handles must NOT be pooled:
+                    # pooled=True is the call-site promise that nobody
+                    # touches the handle once it may have fired.
+                    handles.append(sim.schedule_in(
+                        rng.uniform(0.0, 2.0), fire, len(out)))
+                else:
+                    sim.schedule_in(rng.choice((0.0, 0.5, 1.0)), fire,
+                                    -len(out), pooled=True)
+                if handles and rng.random() < 0.2:
+                    handles.pop(rng.randrange(len(handles))).cancel()
+
+        for i in range(64):
+            sim.schedule(rng.uniform(0.0, 1.0), fire, i)
+        sim.run(until=400.0)
+        return out, sim
+
+    def test_trace_matches_heap(self, engine):
+        want, ref = self._churn("heap")
+        got, sim = self._churn(engine)
+        assert got == want
+        assert sim.events_processed == ref.events_processed
+        assert sim.now == ref.now
+
+    def test_event_exactly_at_drain_horizon_fires(self, engine):
+        # run(until=t) serves events at exactly t and leaves anything
+        # later queued — the boundary the calendar's year arithmetic
+        # must not blur (its horizon check uses the entry time itself,
+        # never a recomputed bucket edge).
+        sim = Simulator(engine=engine)
+        out = []
+        sim.schedule(1.0, out.append, "before")
+        sim.schedule(2.0, out.append, "at")
+        sim.schedule(2.0, out.append, "at-too")
+        sim.schedule(2.0 + 5e-9, out.append, "after")
+        sim.run(until=2.0)
+        assert out == ["before", "at", "at-too"]
+        assert sim.now == 2.0
+        assert sim.pending == 1
+        sim.run()
+        assert out[-1] == "after"
+
+    def test_tombstones_straddling_resize(self, engine):
+        # Cancel a third of a large population, then keep pushing until
+        # the calendar recalibrates (rehashing live entries *and*
+        # tombstones), then drain: survivors must fire in exact order
+        # and the tombstones must stay dead through the rebuild.
+        rng = random.Random(11)
+        sim = Simulator(engine=engine)
+        out = []
+        doomed = []
+        for i in range(900):
+            t = rng.uniform(0.0, 10.0)
+            ev = sim.schedule(t, out.append, (t, i))
+            if i % 3 == 0:
+                doomed.append((ev, (t, i)))
+        for ev, _ in doomed:
+            ev.cancel()
+        for i in range(900, 2400):
+            t = rng.uniform(0.0, 1000.0)  # 100x the span: forces rewidth
+            sim.schedule(t, out.append, (t, i))
+        if engine.startswith("calendar"):
+            assert sim.calendar_resizes > 0
+        sim.run()
+        dead = {payload for _, payload in doomed}
+        assert not dead & set(out)
+        assert out == sorted(out)
+        assert sim.pending == 0
+
+    def test_pool_recycling_across_checkpoint_rollback(self, engine):
+        # Rolling back to a snapshot must replay byte-identically even
+        # though the pool keeps recycling Event records across the
+        # rollback (acquire restamps every field, and restore bumps the
+        # epoch so pre-snapshot handles are dead).  Snapshots capture
+        # callbacks by reference, so rollback happens on the same sim.
+        sim = Simulator(engine=engine)
+        out = []
+
+        def tick(n, dt):
+            out.append((sim.now, n))
+            if sim.now < 30.0:
+                sim.schedule_in(dt, tick, n, dt, pooled=True)
+
+        for i in range(40):
+            sim.schedule_in(0.1 + i * 0.01, tick, i, 0.7 + i * 0.013,
+                            pooled=True)
+        sim.run(until=10.0)
+        snap = sim.snapshot()
+        prefix = list(out)
+        sim.run()
+        want = list(out)
+
+        sim.restore(snap)  # events recycled above now re-enter service
+        out[:] = prefix
+        sim.run()
+        assert out == want
+        assert sim.now == want[-1][0]
+
+
+class TestServeDifferential:
+    """Service traces, chained digests and recovery across engines."""
+
+    def _spec(self):
+        from repro.serve.soak import build_service_spec
+
+        return build_service_spec(flows=12, rate=1e6, duration=0.5, seed=4)
+
+    def _run(self, engine, **kwargs):
+        from repro.serve.runner import ServiceRunner
+
+        runner = ServiceRunner(self._spec(), engine=engine, **kwargs)
+        runner.run_to(0.5)
+        return runner
+
+    def test_digest_and_rows_engine_invariant(self):
+        # The chained digest folds every service row — Fraction virtual
+        # tags rendered exactly as num/den — so digest equality is exact
+        # trace equality, not float-tolerant equality.
+        baseline = self._run("heap")
+        assert baseline.trace.rows > 0
+        for engine in ENGINES[1:]:
+            runner = self._run(engine)
+            assert runner.digest == baseline.digest, engine
+            assert runner.trace.rows == baseline.trace.rows, engine
+
+    def test_service_records_fraction_exact(self):
+        # Same equivalence at full fidelity, on an exact timeline: with
+        # Fraction rates and start times every event timestamp and every
+        # virtual tag stays a Fraction end to end, so the comparison is
+        # exact rational equality — and the calendar's bucket arithmetic
+        # (``int(t / width)``) is exercised on non-float timestamps.
+        from repro.core import WF2QPlusScheduler
+        from repro.sim.link import Link
+        from repro.sim.monitor import ServiceTrace
+        from repro.traffic.source import CBRSource
+
+        def rows(engine):
+            sim = Simulator(engine=engine)
+            sched = WF2QPlusScheduler(Fraction(10 ** 6))
+            trace = ServiceTrace()
+            link = Link(sim, sched, trace=trace)
+            for i in range(6):
+                # Fraction shares: int shares divide to float (see
+                # test_batch) and would poison the virtual tags.
+                sched.add_flow(str(i), Fraction(1 + i))
+                src = CBRSource(str(i), Fraction(10 ** 5), 4000,
+                                start_time=Fraction(i, 10 ** 4))
+                src.attach(sim, link)
+                src.start()
+            sim.run(until=Fraction(1, 10))
+            return [(r.flow_id, r.packet.seqno, r.start_time,
+                     r.finish_time, r.virtual_start, r.virtual_finish)
+                    for r in trace.services]
+
+        want = rows("heap")
+        assert want
+        for r in want:
+            # Exact rationals only (ints are the pristine initial tags);
+            # a single float would mean the exact pipeline leaked.
+            assert all(isinstance(v, (int, Fraction)) and
+                       not isinstance(v, bool) for v in r[2:]), r
+        assert any(isinstance(r[5], Fraction) for r in want)
+        for engine in ENGINES[1:]:
+            assert rows(engine) == want, engine
+
+    def test_recovery_switches_engines_exactly(self, tmp_path):
+        # A service checkpointed under calendar+pool and recovered under
+        # plain heap (and vice versa) must land on the uninterrupted
+        # baseline's digest: checkpoints are engine-agnostic and the
+        # free lists never leak state across a recovery boundary.
+        from repro.serve.runner import ServiceRunner
+
+        baseline = self._run("heap")
+        for ckpt_engine, recover_engine in (("calendar+pool", "heap"),
+                                            ("heap", "calendar+pool")):
+            directory = tmp_path / f"{ckpt_engine}-to-{recover_engine}"
+            directory.mkdir()
+            first = ServiceRunner(self._spec(), engine=ckpt_engine,
+                                  checkpoint_dir=str(directory),
+                                  checkpoint_every=0.1)
+            first.run_to(0.34)  # beyond several checkpoint boundaries
+            recovered = ServiceRunner.recover(str(directory),
+                                              engine=recover_engine)
+            recovered.run_to(0.5)
+            assert recovered.digest == baseline.digest
+            assert recovered.trace.rows == baseline.trace.rows
+
+
+class TestDropLedgerDifferential:
+    """Finite-buffer drop decisions are engine-invariant."""
+
+    @pytest.mark.parametrize("engine", ENGINES[1:])
+    def test_drops_and_ledger_match_heap(self, engine):
+        def run(engine):
+            from repro.core import WF2QPlusScheduler
+            from repro.core.packet import PacketPool
+            from repro.sim.link import Link
+            from repro.traffic.source import CBRSource
+
+            sim = Simulator(engine=engine)
+            sched = WF2QPlusScheduler(1e6)
+            for i in range(8):
+                sched.add_flow(str(i), 1 + (i % 3))
+                sched.set_buffer_limit(str(i), 3)
+            pool = (PacketPool()
+                    if engine.endswith("+pool") else None)
+            link = Link(sim, sched, packet_pool=pool)
+            for i in range(8):
+                src = CBRSource(str(i), 2.5e5, 8000.0,
+                                start_time=i * 1e-4)
+                src.attach(sim, link)
+                if pool is not None:
+                    src.packet_pool = pool
+                src.start()
+            sim.run(until=0.4)
+            drops = {fid: sched.drops(fid) for fid in sched.flow_ids}
+            return drops, sched.conservation()
+
+        drops, ledger = run(engine)
+        want_drops, want_ledger = run("heap")
+        assert sum(want_drops.values()) > 0, "workload must actually drop"
+        assert drops == want_drops
+        assert ledger == want_ledger
+        assert ledger["balanced"]
+
+
+class TestShardDifferential:
+    """Merged shard digests are engine-invariant, migration included."""
+
+    def _digest(self, **kwargs):
+        from repro.shard import run_sharded
+
+        report = run_sharded("cbr_flat", flows=24, cells=2, duration=0.02,
+                             **kwargs)
+        return report["digest"]
+
+    def test_digest_engine_invariant_across_shards(self):
+        want = self._digest(shards=1, engine="heap")
+        for engine in ENGINES[1:]:
+            assert self._digest(shards=1, engine=engine) == want, engine
+        assert self._digest(shards=2, engine="calendar+pool") == want
+
+    def test_migration_digest_engine_invariant(self):
+        want = self._digest(shards=1, engine="heap")
+        got = self._digest(shards=2, engine="calendar+pool",
+                           migrate={"cell": "c0", "at": 0.01})
+        assert got == want
